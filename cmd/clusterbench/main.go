@@ -1,0 +1,135 @@
+// Command clusterbench reproduces every figure of the paper's evaluation
+// (§4) on the simulated 16-node Pentium-III/FastEthernet cluster:
+//
+//	Fig. 5/6  — SOR:    maximum speedups per space; speedups vs tile size
+//	Fig. 7/8  — Jacobi: maximum speedups per space; speedups vs tile size
+//	Fig. 9/10 — ADI:    maximum speedups per space; speedups vs tile size
+//
+// plus the §4.4 average-improvement summary and the overlap-scheduling
+// ablation ([8], the paper's future work).
+//
+// Usage:
+//
+//	clusterbench                  # all figures at full paper scale
+//	clusterbench -fig 6           # one figure
+//	clusterbench -scale 4         # shrink every space dimension 4×
+//	clusterbench -overlap         # also run the overlap ablation
+//	clusterbench -o results.txt   # tee output to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tilespace/internal/bench"
+	"tilespace/internal/simnet"
+)
+
+func main() {
+	var (
+		figFlag = flag.String("fig", "all", "figure to run: 5..10 or all")
+		scale   = flag.Int64("scale", 1, "shrink space dimensions by this factor (1 = paper scale)")
+		overlap = flag.Bool("overlap", false, "also run the computation-communication overlap ablation")
+		outPath = flag.String("o", "", "also write the report to this file")
+	)
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clusterbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	figs, err := bench.Figures(bench.Scale(*scale))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: %v\n", err)
+		os.Exit(1)
+	}
+	par := simnet.FastEthernetPIII()
+
+	fmt.Fprintf(out, "tilespace clusterbench — simulated %s cluster model, scale 1/%d\n",
+		"FastEthernet + Pentium-III/500", *scale)
+	fmt.Fprintf(out, "(paper: Goumas et al., Compiling Tiled Iteration Spaces for Clusters, CLUSTER 2002)\n\n")
+
+	improvements := map[string]float64{}
+	matched := 0
+	for _, f := range figs {
+		if *figFlag != "all" && f.ID != "fig"+*figFlag {
+			continue
+		}
+		matched++
+		start := time.Now()
+		fr, err := f.Run(par)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clusterbench: %s: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+		fmt.Fprint(out, fr.Render())
+		fmt.Fprintf(out, "(%s computed in %.1fs)\n\n", f.ID, time.Since(start).Seconds())
+		switch f.ID {
+		case "fig5":
+			improvements["SOR"] = fr.AverageImprovement()
+		case "fig7":
+			improvements["Jacobi"] = fr.AverageImprovement()
+		case "fig9":
+			improvements["ADI"] = fr.AverageImprovement()
+		}
+	}
+
+	if *figFlag != "all" && matched == 0 {
+		fmt.Fprintf(os.Stderr, "clusterbench: no figure %q (use 5..10 or all)\n", *figFlag)
+		os.Exit(2)
+	}
+
+	if len(improvements) > 0 {
+		fmt.Fprintf(out, "== §4.4 summary: average speedup improvement of non-rectangular over rectangular ==\n")
+		for _, app := range []string{"SOR", "Jacobi", "ADI"} {
+			if v, ok := improvements[app]; ok {
+				paper := map[string]float64{"SOR": 17.3, "Jacobi": 9.1, "ADI": 10.1}[app]
+				fmt.Fprintf(out, "%-8s measured %+6.1f%%   (paper: %+.1f%%)\n", app, v, paper)
+			}
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *overlap {
+		runOverlapAblation(out, bench.Scale(*scale), par)
+	}
+}
+
+// runOverlapAblation compares blocking sends with the overlapped scheme of
+// the paper's future-work reference [8] on the Fig. 6 SOR sweep.
+func runOverlapAblation(out io.Writer, sc bench.Scale, par simnet.Params) {
+	s, err := bench.SORSweep("ablation", 100/int64(sc)+4, 200/int64(sc)+4, []int64{5, 10, 20})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: ablation: %v\n", err)
+		return
+	}
+	blocking, err := s.Run(par)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: ablation: %v\n", err)
+		return
+	}
+	par.Overlap = true
+	overlapped, err := s.Run(par)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: ablation: %v\n", err)
+		return
+	}
+	fmt.Fprintf(out, "== ablation: blocking vs overlapped communication (SOR, %s) ==\n", s.Space)
+	fmt.Fprintf(out, "%8s %12s %12s %8s\n", "z", "S(blocking)", "S(overlap)", "gain%")
+	for i, pt := range blocking.Points {
+		b := pt.Results["nr"].Speedup
+		o := overlapped.Points[i].Results["nr"].Speedup
+		fmt.Fprintf(out, "%8d %12.2f %12.2f %+7.1f%%\n", pt.Value, b, o, (o-b)/b*100)
+	}
+	fmt.Fprintln(out)
+}

@@ -1,0 +1,296 @@
+// Command tilec is the tiling compiler CLI: it reads a loop-nest
+// specification (JSON, or one of the built-in paper workloads), prints the
+// complete compile-time analysis — tiling cone, H' and its Hermite normal
+// form, strides, communication vector, tile dependencies, LDS layout — and
+// emits the generated C+MPI program.
+//
+// Usage:
+//
+//	tilec -spec nest.json [-o out.c] [-report] [-sim]
+//	tilec -app sor -space 100,200 -factors 50,38,10 -family nr [-o out.c]
+//
+// Spec format (JSON):
+//
+//	{
+//	  "name":   "sor",
+//	  "vars":   ["t", "i", "j"],
+//	  "lo":     [1, 1, 1],
+//	  "hi":     [10, 10, 10],
+//	  "constraints": [{"coef": [1, -1, 0], "rhs": 0}],
+//	  "deps":   [[0,1,0], [0,0,1]],
+//	  "skew":   [[1,0,0], [1,1,0], [2,0,1]],
+//	  "tiling": {"rect": [8,8,8]} | {"rows": [["1/8","0","0"], ...]} | {"edges": [[...], ...]},
+//	  "mapdim": 2,
+//	  "width":  1,
+//	  "kernel": "out[0] = 0.25*(R0[0]+R1[0]);",
+//	  "initial": "out[0] = 0.0;"
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"tilespace"
+)
+
+type specTiling struct {
+	Rect  []int64    `json:"rect,omitempty"`
+	Rows  [][]string `json:"rows,omitempty"`
+	Edges [][]int64  `json:"edges,omitempty"`
+}
+
+type spec struct {
+	Name        string       `json:"name"`
+	Vars        []string     `json:"vars"`
+	Lo          []int64      `json:"lo,omitempty"`
+	Hi          []int64      `json:"hi,omitempty"`
+	Constraints []constraint `json:"constraints,omitempty"`
+	Deps        [][]int64    `json:"deps"`
+	Skew        [][]int64    `json:"skew,omitempty"`
+	Tiling      specTiling   `json:"tiling"`
+	MapDim      *int         `json:"mapdim,omitempty"`
+	Width       int          `json:"width,omitempty"`
+	Kernel      string       `json:"kernel,omitempty"`
+	Initial     string       `json:"initial,omitempty"`
+}
+
+type constraint struct {
+	Coef []int64 `json:"coef"`
+	Rhs  int64   `json:"rhs"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tilec: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseInts(s string) []int64 {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			fail("bad integer list %q: %v", s, err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "JSON loop-nest specification file ('-' for stdin)")
+		srcPath  = flag.String("src", "", "loop-nest source file in the textual notation ('-' for stdin)")
+		appName  = flag.String("app", "", "built-in workload: sor, jacobi, adi")
+		space    = flag.String("space", "", "built-in space size, e.g. 100,200")
+		factors  = flag.String("factors", "", "tile factors x,y,z for built-ins")
+		family   = flag.String("family", "rect", "tiling family for built-ins: rect, nr, nr1, nr2, nr3")
+		out      = flag.String("o", "", "write generated C to this file (default stdout)")
+		report   = flag.Bool("report", true, "print the compile-time analysis report")
+		sim      = flag.Bool("sim", false, "simulate on the FastEthernet/PIII cluster model")
+		emit     = flag.Bool("emit", true, "emit the generated C program")
+		suggest  = flag.Bool("suggest", false, "search rectangular and cone-derived tilings and report the ranking")
+		gantt    = flag.Bool("gantt", false, "render a per-processor timeline of the simulated execution")
+	)
+	flag.Parse()
+
+	var (
+		prog *tilespace.Program
+		opts tilespace.CodegenOptions
+		err  error
+	)
+	switch {
+	case *srcPath != "":
+		prog, opts, err = fromSource(*srcPath)
+	case *specPath != "":
+		prog, opts, err = fromSpec(*specPath)
+	case *appName != "":
+		prog, opts, err = fromBuiltin(*appName, parseInts(*space), parseInts(*factors), *family)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if *report {
+		fmt.Fprintln(os.Stderr, prog.Report())
+	}
+	if *suggest {
+		runSuggest(prog)
+	}
+	if *sim {
+		res, err := prog.Simulate(tilespace.FastEthernetPIII())
+		if err != nil {
+			fail("simulate: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "simulated: %d procs, %d tiles, %d steps, makespan %.4fs, speedup %.2f, util %.0f%%, %d msgs / %d bytes\n",
+			res.Procs, res.Tiles, res.Steps, res.Makespan, res.Speedup, res.Utilization*100, res.Messages, res.BytesSent)
+	}
+	if *gantt {
+		tr, err := prog.SimulateTraced(tilespace.FastEthernetPIII())
+		if err != nil {
+			fail("gantt: %v", err)
+		}
+		fmt.Fprint(os.Stderr, tr.Gantt(100))
+		crit, idle := tr.CriticalRank()
+		fmt.Fprintf(os.Stderr, "critical rank %d idle %.0f%% of its makespan\n", crit, idle*100)
+	}
+	if !*emit {
+		return
+	}
+	src, err := prog.GenerateC(opts)
+	if err != nil {
+		fail("codegen: %v", err)
+	}
+	if *out == "" {
+		fmt.Print(src)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
+		fail("write %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, len(src))
+}
+
+// fromSource compiles a program written in the textual loop-nest notation
+// (see ParseSource): bounds, dependencies, kernel, skew, tiling and
+// mapping dimension all come from the source file.
+// runSuggest reruns the tile-shape search for the compiled nest and
+// prints the ranking (the paper's experiment, automated).
+func runSuggest(prog *tilespace.Program) {
+	res, err := prog.OptimizeShape(tilespace.SearchOptions{
+		Params: tilespace.FastEthernetPIII(), MapDim: -1,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tilec: suggest: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "tile-shape search (%d candidates):\n", len(res.Candidates))
+	top := res.Candidates
+	if len(top) > 6 {
+		top = top[:6]
+	}
+	for _, c := range top {
+		fmt.Fprintf(os.Stderr, "  %-5s factors %-12s tile %6d procs %4d steps %4d predicted speedup %6.2f\n",
+			c.Family, fmt.Sprint(c.Factors), c.TileSize, c.Procs, c.Estimate.Steps, c.Estimate.Speedup)
+	}
+}
+
+func fromSource(path string) (*tilespace.Program, tilespace.CodegenOptions, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, tilespace.CodegenOptions{}, err
+	}
+	src, err := tilespace.ParseSource(string(data))
+	if err != nil {
+		return nil, tilespace.CodegenOptions{}, err
+	}
+	if !src.HasTiling {
+		return nil, tilespace.CodegenOptions{}, fmt.Errorf("%s: add a `tile` directive (rows of H)", path)
+	}
+	prog, err := tilespace.Compile(src.Nest, src.Tiling, tilespace.CompileOptions{
+		MapDim: src.MapDim, Width: src.Width, Kernel: src.Kernel,
+	})
+	if err != nil {
+		return nil, tilespace.CodegenOptions{}, err
+	}
+	return prog, tilespace.CodegenOptions{Name: "tiled", Width: src.Width, KernelStmt: src.KernelC}, nil
+}
+
+func fromSpec(path string) (*tilespace.Program, tilespace.CodegenOptions, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, tilespace.CodegenOptions{}, err
+	}
+	var sp spec
+	if err := json.Unmarshal(data, &sp); err != nil {
+		return nil, tilespace.CodegenOptions{}, fmt.Errorf("parse spec: %w", err)
+	}
+	if len(sp.Vars) == 0 {
+		return nil, tilespace.CodegenOptions{}, fmt.Errorf("spec needs vars")
+	}
+
+	b := tilespace.NewNestBuilder(sp.Vars...)
+	for k := range sp.Lo {
+		if k < len(sp.Hi) {
+			b.Range(k, sp.Lo[k], sp.Hi[k])
+		}
+	}
+	for _, c := range sp.Constraints {
+		b.Constraint(c.Coef, c.Rhs)
+	}
+	for _, d := range sp.Deps {
+		b.Dep(d...)
+	}
+	nest, err := b.Build()
+	if err != nil {
+		return nil, tilespace.CodegenOptions{}, err
+	}
+	if len(sp.Skew) > 0 {
+		if nest, err = nest.Skew(sp.Skew); err != nil {
+			return nil, tilespace.CodegenOptions{}, err
+		}
+	}
+
+	var tl tilespace.Tiling
+	switch {
+	case len(sp.Tiling.Rect) > 0:
+		tl, err = tilespace.RectangularTiling(sp.Tiling.Rect...)
+	case len(sp.Tiling.Rows) > 0:
+		tl, err = tilespace.TilingFromRows(sp.Tiling.Rows)
+	case len(sp.Tiling.Edges) > 0:
+		tl, err = tilespace.TilingFromEdges(sp.Tiling.Edges)
+	default:
+		err = fmt.Errorf("spec needs a tiling (rect, rows or edges)")
+	}
+	if err != nil {
+		return nil, tilespace.CodegenOptions{}, err
+	}
+
+	mapDim := -1
+	if sp.MapDim != nil {
+		mapDim = *sp.MapDim
+	}
+	prog, err := tilespace.Compile(nest, tl, tilespace.CompileOptions{MapDim: mapDim, Width: max(1, sp.Width)})
+	if err != nil {
+		return nil, tilespace.CodegenOptions{}, err
+	}
+	kernel := sp.Kernel
+	if kernel == "" {
+		kernel = "/* TODO: kernel */ out[0] = 0.0;"
+	}
+	return prog, tilespace.CodegenOptions{
+		Name: defaultStr(sp.Name, "tiled"), Width: max(1, sp.Width),
+		KernelStmt: kernel, InitialStmt: sp.Initial,
+	}, nil
+}
+
+func defaultStr(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}

@@ -1,0 +1,3 @@
+module tilespace
+
+go 1.22

@@ -1,0 +1,285 @@
+// Package apps defines the paper's three experiment workloads — Gauss
+// Successive Over-Relaxation (§4.1), Jacobi (§4.2) and ADI integration
+// (§4.3) — as loop nests with their dependence matrices, the skewing
+// matrices that make them rectangularly tileable, their kernels for real
+// execution, and the rectangular / non-rectangular tiling families the
+// paper compares.
+package apps
+
+import (
+	"fmt"
+
+	"tilespace/internal/exec"
+	"tilespace/internal/ilin"
+	"tilespace/internal/loopnest"
+	"tilespace/internal/rat"
+)
+
+// TilingFamily is one of an app's parameterized tiling transformations:
+// given per-dimension factors (x, y, z) it produces the matrix H. Factors
+// scale the tile extents so that 1/|det H| = x·y·z for every family of one
+// app, which is what makes the paper's comparisons fair (equal tile size,
+// communication volume and processor count).
+type TilingFamily struct {
+	Name string
+	H    func(x, y, z int64) *ilin.RatMat
+}
+
+// App is a complete experiment workload.
+type App struct {
+	Name string
+	// Nest is the (already skewed, where needed) loop nest.
+	Nest *loopnest.Nest
+	// Width is the number of values per iteration point (2 for ADI: X, B).
+	Width int
+	// Kernel and Initial drive real execution.
+	Kernel  exec.Kernel
+	Initial exec.Initial
+	// MapDim is the paper's mapping dimension (0-based): SOR maps along
+	// the third dimension, Jacobi and ADI along the first.
+	MapDim int
+	// Rect is the rectangular baseline family; NonRect the paper's
+	// cone-derived alternatives (one for SOR/Jacobi, three for ADI).
+	Rect    TilingFamily
+	NonRect []TilingFamily
+}
+
+func rectH(x, y, z int64) *ilin.RatMat {
+	h := ilin.NewRatMat(3, 3)
+	h.Set(0, 0, rat.New(1, x))
+	h.Set(1, 1, rat.New(1, y))
+	h.Set(2, 2, rat.New(1, z))
+	return h
+}
+
+// SOR builds the skewed SOR workload for an M×N×N space.
+//
+// Original loop (§4.1): A[t,i,j] = w/4·(A[t,i−1,j] + A[t,i,j−1] +
+// A[t−1,i+1,j] + A[t−1,i,j+1]) + (1−w)·A[t−1,i,j], skewed by
+// T = [[1,0,0],[1,1,0],[2,0,1]] so all dependence components become
+// non-negative.
+func SOR(m, n int64) (*App, error) {
+	if m < 1 || n < 1 {
+		return nil, fmt.Errorf("apps: SOR needs M, N ≥ 1")
+	}
+	// Dependence columns (t, i, j): (0,1,0), (0,0,1), (1,−1,0), (1,0,−1),
+	// (1,0,0) — the reads above, in order.
+	deps := ilin.MatFromRows(
+		[]int64{0, 0, 1, 1, 1},
+		[]int64{1, 0, -1, 0, 0},
+		[]int64{0, 1, 0, -1, 0},
+	)
+	orig, err := loopnest.Box([]string{"t", "i", "j"}, []int64{1, 1, 1}, []int64{m, n, n}, deps)
+	if err != nil {
+		return nil, err
+	}
+	skew := ilin.MatFromRows([]int64{1, 0, 0}, []int64{1, 1, 0}, []int64{2, 0, 1})
+	nest, err := orig.Skew(skew)
+	if err != nil {
+		return nil, err
+	}
+	const w = 1.2 // over-relaxation factor
+	kernel := func(j ilin.Vec, reads [][]float64, out []float64) {
+		out[0] = w/4*(reads[0][0]+reads[1][0]+reads[2][0]+reads[3][0]) + (1-w)*reads[4][0]
+	}
+	tinv := skew.Inverse().Int() // unimodular: exact integer inverse
+	initial := func(js ilin.Vec, out []float64) {
+		j := tinv.MulVec(js) // back to original (t, i, j)
+		out[0] = boundaryValue(j[1], j[2])
+	}
+	return &App{
+		Name: "sor", Nest: nest, Width: 1, Kernel: kernel, Initial: initial,
+		MapDim: 2,
+		Rect:   TilingFamily{Name: "rect", H: rectH},
+		NonRect: []TilingFamily{{
+			Name: "nr",
+			H: func(x, y, z int64) *ilin.RatMat {
+				h := ilin.NewRatMat(3, 3)
+				h.Set(0, 0, rat.New(1, x))
+				h.Set(1, 1, rat.New(1, y))
+				h.Set(2, 0, rat.New(-1, z))
+				h.Set(2, 2, rat.New(1, z))
+				return h
+			},
+		}},
+	}, nil
+}
+
+// Jacobi builds the skewed Jacobi workload for a T×I×J space (I = J = n).
+//
+// Original loop (§4.2): five-point average of the previous time step,
+// skewed by T = [[1,0,0],[1,1,0],[1,0,1]]. The non-rectangular family
+// needs an even y factor (P must be integral).
+func Jacobi(tSteps, n int64) (*App, error) {
+	if tSteps < 1 || n < 1 {
+		return nil, fmt.Errorf("apps: Jacobi needs T, N ≥ 1")
+	}
+	// Dependence columns: (1,0,0), (1,1,0), (1,−1,0), (1,0,1), (1,0,−1).
+	deps := ilin.MatFromRows(
+		[]int64{1, 1, 1, 1, 1},
+		[]int64{0, 1, -1, 0, 0},
+		[]int64{0, 0, 0, 1, -1},
+	)
+	orig, err := loopnest.Box([]string{"t", "i", "j"}, []int64{1, 1, 1}, []int64{tSteps, n, n}, deps)
+	if err != nil {
+		return nil, err
+	}
+	skew := ilin.MatFromRows([]int64{1, 0, 0}, []int64{1, 1, 0}, []int64{1, 0, 1})
+	nest, err := orig.Skew(skew)
+	if err != nil {
+		return nil, err
+	}
+	kernel := func(j ilin.Vec, reads [][]float64, out []float64) {
+		out[0] = 0.2 * (reads[0][0] + reads[1][0] + reads[2][0] + reads[3][0] + reads[4][0])
+	}
+	tinv := skew.Inverse().Int()
+	initial := func(js ilin.Vec, out []float64) {
+		j := tinv.MulVec(js)
+		out[0] = boundaryValue(j[1], j[2])
+	}
+	return &App{
+		Name: "jacobi", Nest: nest, Width: 1, Kernel: kernel, Initial: initial,
+		MapDim: 0,
+		Rect:   TilingFamily{Name: "rect", H: rectH},
+		NonRect: []TilingFamily{{
+			Name: "nr",
+			H: func(x, y, z int64) *ilin.RatMat {
+				h := ilin.NewRatMat(3, 3)
+				h.Set(0, 0, rat.New(1, x))
+				h.Set(0, 1, rat.New(-1, 2*x))
+				h.Set(1, 1, rat.New(1, y))
+				h.Set(2, 2, rat.New(1, z))
+				return h
+			},
+		}},
+	}, nil
+}
+
+// ADI builds the ADI integration workload for a T×N×N space (Table 3).
+// No skewing is needed; the statement updates two arrays (X and B), so
+// iteration values have width 2.
+func ADI(tSteps, n int64) (*App, error) {
+	if tSteps < 1 || n < 1 {
+		return nil, fmt.Errorf("apps: ADI needs T, N ≥ 1")
+	}
+	// Dependence columns: (1,0,0), (1,1,0), (1,0,1).
+	deps := ilin.MatFromRows(
+		[]int64{1, 1, 1},
+		[]int64{0, 1, 0},
+		[]int64{0, 0, 1},
+	)
+	nest, err := loopnest.Box([]string{"t", "i", "j"}, []int64{1, 1, 1}, []int64{tSteps, n, n}, deps)
+	if err != nil {
+		return nil, err
+	}
+	kernel := func(j ilin.Vec, reads [][]float64, out []float64) {
+		a := adiCoef(j[1], j[2])
+		up, left, prev := reads[1], reads[2], reads[0]
+		out[0] = prev[0] + left[0]*a/left[1] - up[0]*a/up[1] // X
+		out[1] = prev[1] - a*a/left[1] - a*a/up[1]           // B
+	}
+	initial := func(j ilin.Vec, out []float64) {
+		out[0] = 1 + boundaryValue(j[1], j[2])
+		out[1] = 2
+	}
+	mkNR := func(c1, c2 bool) func(x, y, z int64) *ilin.RatMat {
+		return func(x, y, z int64) *ilin.RatMat {
+			h := rectH(x, y, z)
+			if c1 {
+				h.Set(0, 1, rat.New(-1, x))
+			}
+			if c2 {
+				h.Set(0, 2, rat.New(-1, x))
+			}
+			return h
+		}
+	}
+	return &App{
+		Name: "adi", Nest: nest, Width: 2, Kernel: kernel, Initial: initial,
+		MapDim: 0,
+		Rect:   TilingFamily{Name: "rect", H: rectH},
+		NonRect: []TilingFamily{
+			{Name: "nr1", H: mkNR(true, false)},
+			{Name: "nr2", H: mkNR(false, true)},
+			{Name: "nr3", H: mkNR(true, true)},
+		},
+	}, nil
+}
+
+// boundaryValue is a deterministic, smooth-ish boundary/initial condition.
+func boundaryValue(i, j int64) float64 {
+	return 0.5 + float64((i*31+j*17)%23)/46
+}
+
+// adiCoef is the ADI coefficient array A[i,j] (the paper's input data);
+// values stay small so B remains well away from zero over short runs.
+func adiCoef(i, j int64) float64 {
+	return 0.01 + float64((i*13+j*7)%8)/100
+}
+
+// Heat3D builds a four-dimensional workload (time × 3-D grid, 7-point
+// stencil) — an extension beyond the paper's three benchmarks showing the
+// framework is not specialized to depth 3. Skewed by the 4-D analogue of
+// the Jacobi skew; the non-rectangular family skews the time row against
+// the first space dimension (even y required, as for Jacobi).
+func Heat3D(tSteps, n int64) (*App, error) {
+	if tSteps < 1 || n < 1 {
+		return nil, fmt.Errorf("apps: Heat3D needs T, N ≥ 1")
+	}
+	// Dependence columns: center + ±1 along each space axis at t−1.
+	deps := ilin.MatFromRows(
+		[]int64{1, 1, 1, 1, 1, 1, 1},
+		[]int64{0, 1, -1, 0, 0, 0, 0},
+		[]int64{0, 0, 0, 1, -1, 0, 0},
+		[]int64{0, 0, 0, 0, 0, 1, -1},
+	)
+	orig, err := loopnest.Box([]string{"t", "x", "y", "z"},
+		[]int64{1, 1, 1, 1}, []int64{tSteps, n, n, n}, deps)
+	if err != nil {
+		return nil, err
+	}
+	skew := ilin.MatFromRows(
+		[]int64{1, 0, 0, 0},
+		[]int64{1, 1, 0, 0},
+		[]int64{1, 0, 1, 0},
+		[]int64{1, 0, 0, 1},
+	)
+	nest, err := orig.Skew(skew)
+	if err != nil {
+		return nil, err
+	}
+	kernel := func(j ilin.Vec, reads [][]float64, out []float64) {
+		s := 0.0
+		for _, r := range reads {
+			s += r[0]
+		}
+		out[0] = s / 7
+	}
+	tinv := skew.Inverse().Int()
+	initial := func(js ilin.Vec, out []float64) {
+		j := tinv.MulVec(js)
+		out[0] = boundaryValue(j[1]+j[3], j[2])
+	}
+	rect4 := func(x, y, z int64) *ilin.RatMat {
+		// The fourth extent reuses z (the API carries three factors).
+		h := ilin.NewRatMat(4, 4)
+		h.Set(0, 0, rat.New(1, x))
+		h.Set(1, 1, rat.New(1, y))
+		h.Set(2, 2, rat.New(1, z))
+		h.Set(3, 3, rat.New(1, z))
+		return h
+	}
+	return &App{
+		Name: "heat3d", Nest: nest, Width: 1, Kernel: kernel, Initial: initial,
+		MapDim: 0,
+		Rect:   TilingFamily{Name: "rect", H: rect4},
+		NonRect: []TilingFamily{{
+			Name: "nr",
+			H: func(x, y, z int64) *ilin.RatMat {
+				h := rect4(x, y, z)
+				h.Set(0, 1, rat.New(-1, 2*x))
+				return h
+			},
+		}},
+	}, nil
+}

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"tilespace/internal/apps"
+	"tilespace/internal/simnet"
+)
+
+// Scale shrinks the paper-size experiments for quick runs: 1 is full paper
+// scale, 2 halves every space dimension, etc. The speedup *shapes* are
+// stable across scales; absolute speedups shrink with the spaces.
+type Scale int64
+
+func (s Scale) div(v int64) int64 {
+	out := v / int64(s)
+	if out < 4 {
+		out = 4
+	}
+	return out
+}
+
+// SORSweep builds one SOR series: x and y fixed to give a ≈2×8 processor
+// mesh (the paper used 16 MPI processes), z swept to vary tile size. The
+// mapping dimension is the third (skewed j: extent 2M+N, the longest).
+func SORSweep(fig string, m, n int64, zs []int64) (*Sweep, error) {
+	app, err := apps.SOR(m, n)
+	if err != nil {
+		return nil, err
+	}
+	x := factorFor(1, m, 2, false)
+	y := factorFor(2, m+n, 8, false)
+	return &Sweep{
+		Fig:   fig,
+		Space: fmt.Sprintf("M=%d,N=%d", m, n),
+		App:   app,
+		Factors: func(z int64) (int64, int64, int64) {
+			return x, y, z
+		},
+		Values: zs,
+	}, nil
+}
+
+// JacobiSweep: y, z fixed for a ≈4×4 mesh, x (the time/mapping dimension
+// factor) swept. y is forced even so the non-rectangular P is integral.
+func JacobiSweep(fig string, tSteps, n int64, xs []int64) (*Sweep, error) {
+	app, err := apps.Jacobi(tSteps, n)
+	if err != nil {
+		return nil, err
+	}
+	y := factorFor(2, tSteps+n, 4, true)
+	z := factorFor(2, tSteps+n, 4, false)
+	return &Sweep{
+		Fig:   fig,
+		Space: fmt.Sprintf("T=%d,I=J=%d", tSteps, n),
+		App:   app,
+		Factors: func(x int64) (int64, int64, int64) {
+			return x, y, z
+		},
+		Values: xs,
+	}, nil
+}
+
+// ADISweep: y, z fixed for a ≈4×4 mesh, x swept.
+func ADISweep(fig string, tSteps, n int64, xs []int64) (*Sweep, error) {
+	app, err := apps.ADI(tSteps, n)
+	if err != nil {
+		return nil, err
+	}
+	y := factorFor(1, n, 4, false)
+	z := factorFor(1, n, 4, false)
+	return &Sweep{
+		Fig:   fig,
+		Space: fmt.Sprintf("T=%d,N=%d", tSteps, n),
+		App:   app,
+		Factors: func(x int64) (int64, int64, int64) {
+			return x, y, z
+		},
+		Values: xs,
+	}, nil
+}
+
+// Figure is one of the paper's evaluation figures: a set of sweeps plus
+// how to summarize them.
+type Figure struct {
+	ID      string
+	Title   string
+	Sweeps  []*Sweep
+	MaxOnly bool // Figs. 5/7/9 plot only the per-space maximum speedups
+}
+
+// Figures builds all six evaluation figures at the given scale.
+func Figures(sc Scale) ([]*Figure, error) {
+	if sc < 1 {
+		sc = 1
+	}
+	d := sc.div
+	sorZ := []int64{5, 10, 20, 40, 80}
+	jacX := []int64{2, 3, 5, 8}
+	adiX := []int64{2, 3, 5, 8, 12}
+	if sc > 1 {
+		sorZ = []int64{4, 8, 16, 32}
+		jacX = []int64{2, 3, 4}
+		adiX = []int64{2, 3, 4, 6}
+	}
+
+	scaleNote := ""
+	if sc > 1 {
+		scaleNote = fmt.Sprintf(" [spaces scaled 1/%d]", sc)
+	}
+	var figs []*Figure
+	f5 := &Figure{ID: "fig5", Title: "SOR: maximum speedups for different iteration spaces" + scaleNote, MaxOnly: true}
+	for _, sp := range [][2]int64{{100, 200}, {200, 200}, {100, 400}, {200, 400}} {
+		s, err := SORSweep("fig5", d(sp[0]), d(sp[1]), sorZ)
+		if err != nil {
+			return nil, err
+		}
+		f5.Sweeps = append(f5.Sweeps, s)
+	}
+	figs = append(figs, f5)
+
+	f6sweep, err := SORSweep("fig6", d(100), d(200), sorZ)
+	if err != nil {
+		return nil, err
+	}
+	figs = append(figs, &Figure{ID: "fig6", Title: "SOR: speedups for various tile sizes (M=100, N=200)" + scaleNote, Sweeps: []*Sweep{f6sweep}})
+
+	f7 := &Figure{ID: "fig7", Title: "Jacobi: maximum speedups for different iteration spaces" + scaleNote, MaxOnly: true}
+	for _, sp := range [][2]int64{{50, 100}, {100, 100}, {50, 200}, {100, 200}} {
+		s, err := JacobiSweep("fig7", d(sp[0]), d(sp[1]), jacX)
+		if err != nil {
+			return nil, err
+		}
+		f7.Sweeps = append(f7.Sweeps, s)
+	}
+	figs = append(figs, f7)
+
+	f8sweep, err := JacobiSweep("fig8", d(50), d(100), jacX)
+	if err != nil {
+		return nil, err
+	}
+	figs = append(figs, &Figure{ID: "fig8", Title: "Jacobi: speedups for various tile sizes (T=50, I=J=100)" + scaleNote, Sweeps: []*Sweep{f8sweep}})
+
+	f9 := &Figure{ID: "fig9", Title: "ADI: maximum speedups for different iteration spaces" + scaleNote, MaxOnly: true}
+	for _, sp := range [][2]int64{{100, 256}, {200, 256}, {100, 512}, {200, 512}} {
+		s, err := ADISweep("fig9", d(sp[0]), d(sp[1]), adiX)
+		if err != nil {
+			return nil, err
+		}
+		f9.Sweeps = append(f9.Sweeps, s)
+	}
+	figs = append(figs, f9)
+
+	f10sweep, err := ADISweep("fig10", d(100), d(256), adiX)
+	if err != nil {
+		return nil, err
+	}
+	figs = append(figs, &Figure{ID: "fig10", Title: "ADI: speedups for various tile sizes (T=100, N=256)" + scaleNote, Sweeps: []*Sweep{f10sweep}})
+	return figs, nil
+}
+
+// FigureResult is a completed figure.
+type FigureResult struct {
+	Figure *Figure
+	Series []*Series
+}
+
+// Run executes every sweep of the figure.
+func (f *Figure) Run(par simnet.Params) (*FigureResult, error) {
+	out := &FigureResult{Figure: f}
+	for _, s := range f.Sweeps {
+		series, err := s.Run(par)
+		if err != nil {
+			return nil, err
+		}
+		out.Series = append(out.Series, series)
+	}
+	return out, nil
+}
+
+// Render prints the figure the way the paper reports it: per-space maximum
+// speedups for the max-only figures, the full sweep table otherwise.
+func (fr *FigureResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", fr.Figure.ID, fr.Figure.Title)
+	if fr.Figure.MaxOnly {
+		fams := fr.Series[0].Families
+		fmt.Fprintf(&b, "%-18s", "space")
+		for _, f := range fams {
+			fmt.Fprintf(&b, " %10s", "max S("+f+")")
+		}
+		fmt.Fprintf(&b, " %8s\n", "improv%")
+		for _, s := range fr.Series {
+			best := s.MaxSpeedups()
+			fmt.Fprintf(&b, "%-18s", s.Sweep.Space)
+			for _, f := range fams {
+				fmt.Fprintf(&b, " %10.2f", best[f])
+			}
+			bestNR := 0.0
+			for f, v := range best {
+				if f != "rect" && v > bestNR {
+					bestNR = v
+				}
+			}
+			if best["rect"] > 0 {
+				fmt.Fprintf(&b, " %8.1f", (bestNR-best["rect"])/best["rect"]*100)
+			}
+			b.WriteByte('\n')
+		}
+	} else {
+		for _, s := range fr.Series {
+			b.WriteString(s.Table())
+		}
+	}
+	return b.String()
+}
+
+// AverageImprovement returns the mean improvement of the best
+// non-rectangular family over rect across all sweeps of the figure.
+func (fr *FigureResult) AverageImprovement() float64 {
+	var sum float64
+	var n int
+	for _, s := range fr.Series {
+		best := ""
+		bestVal := -1.0
+		for _, fam := range s.Families {
+			if fam == "rect" {
+				continue
+			}
+			if v := s.ImprovementPercent(fam); v > bestVal {
+				best, bestVal = fam, v
+			}
+		}
+		if best != "" {
+			sum += bestVal
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

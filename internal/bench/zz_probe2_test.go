@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"tilespace/internal/apps"
+	"tilespace/internal/distrib"
+	"tilespace/internal/ilin"
+	"tilespace/internal/simnet"
+	"tilespace/internal/tiling"
+)
+
+func TestProbeAccounting(t *testing.T) {
+	type cfg struct {
+		name string
+		app  *apps.App
+		x, y, z int64
+	}
+	sor, _ := apps.SOR(30, 40)
+	adi, _ := apps.ADI(12, 20)
+	jac, _ := apps.Jacobi(12, 20)
+	cfgs := []cfg{{"sor", sor, 7, 11, 9}, {"adi", adi, 3, 5, 7}, {"jac", jac, 3, 4, 6}}
+	for _, c := range cfgs {
+		fams := append([]apps.TilingFamily{c.app.Rect}, c.app.NonRect...)
+		for _, f := range fams {
+			ts, err := tiling.Analyze(c.app.Nest, f.H(c.x, c.y, c.z))
+			if err != nil { fmt.Printf("%s %s: analyze err %v\n", c.name, f.Name, err); continue }
+			d, err := distrib.New(ts, c.app.MapDim)
+			if err != nil { fmt.Printf("%s %s: distrib err %v\n", c.name, f.Name, err); continue }
+			par := simnet.FastEthernetPIII()
+			par.Width = c.app.Width
+			res, err := simnet.Simulate(d, par)
+			if err != nil { t.Fatal(err) }
+			// brute force points and messages
+			var pts, msgs, vals int64
+			ts.ScanTiles(func(jS ilin.Vec) bool {
+				pts += ts.CountTilePoints(jS.Clone(), nil)
+				for _, dm := range d.DM {
+					if !d.HasSuccessor(jS, dm) { continue }
+					n := d.CommRegionCount(jS, dm)
+					if n == 0 { continue }
+					msgs++
+					vals += n
+				}
+				return true
+			})
+			bytes := vals * int64(par.Width) * int64(par.ValueBytes)
+			flag := ""
+			if pts != res.Points || msgs != res.Messages || bytes != res.BytesSent {
+				flag = "  <-- MISMATCH"
+			}
+			fmt.Printf("%s %s: pts %d/%d msgs %d/%d bytes %d/%d%s\n",
+				c.name, f.Name, res.Points, pts, res.Messages, msgs, res.BytesSent, bytes, flag)
+		}
+	}
+}
+
+func TestProbeOverlapADI(t *testing.T) {
+	adi, _ := apps.ADI(16, 24)
+	fams := append([]apps.TilingFamily{adi.Rect}, adi.NonRect...)
+	for _, f := range fams {
+		ts, err := tiling.Analyze(adi.Nest, f.H(4, 6, 6))
+		if err != nil { continue }
+		d, err := distrib.New(ts, adi.MapDim)
+		if err != nil { continue }
+		par := simnet.FastEthernetPIII()
+		par.Width = adi.Width
+		r1, _ := simnet.Simulate(d, par)
+		par.Overlap = true
+		r2, _ := simnet.Simulate(d, par)
+		flag := ""
+		if r2.Makespan > r1.Makespan+1e-12 { flag = " <-- OVERLAP SLOWER" }
+		fmt.Printf("adi %s: noovl=%.6f ovl=%.6f%s\n", f.Name, r1.Makespan, r2.Makespan, flag)
+	}
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestProbeFactorForWindow(t *testing.T) {
+	for _, even := range []bool{false, true} {
+		bad := 0
+		for lo := int64(1); lo <= 2; lo++ {
+			for span := int64(2); span <= 1000; span++ {
+				hi := lo + span - 1
+				for _, target := range []int64{2, 4, 8} {
+					got := factorFor(lo, hi, target, even)
+					gotDiff := tilesCount(lo, hi, got) - target
+					if gotDiff < 0 { gotDiff = -gotDiff }
+					bestDiff := gotDiff
+					var bestX int64
+					for x := int64(1); x <= span+target+100; x++ {
+						if even && x%2 != 0 { continue }
+						d := tilesCount(lo, hi, x) - target
+						if d < 0 { d = -d }
+						if d < bestDiff { bestDiff, bestX = d, x }
+					}
+					if bestDiff < gotDiff {
+						bad++
+						if bad <= 8 {
+							fmt.Printf("even=%v factorFor(%d,%d,%d)=%d -> %d tiles; x=%d -> diff %d\n",
+								even, lo, hi, target, got, tilesCount(lo, hi, got), bestX, bestDiff)
+						}
+					}
+				}
+			}
+		}
+		fmt.Printf("even=%v suboptimal (lo 1-2, targets 2/4/8): %d\n", even, bad)
+	}
+}

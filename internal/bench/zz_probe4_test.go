@@ -1,0 +1,22 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"tilespace/internal/simnet"
+)
+
+func TestProbeTableColumns(t *testing.T) {
+	s, err := ADISweep("figX", 24, 32, []int64{2, 3})
+	if err != nil { t.Fatal(err) }
+	ser, err := s.Run(simnet.FastEthernetPIII())
+	if err != nil { t.Fatal(err) }
+	for _, pt := range ser.Points {
+		for _, f := range ser.Families {
+			r := pt.Results[f]
+			fmt.Printf("v=%d fam=%s procs=%d steps=%d speedup=%.2f\n", pt.Value, f, r.Procs, r.Steps, r.Speedup)
+		}
+	}
+	fmt.Println(ser.Table())
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"tilespace/internal/apps"
+	"tilespace/internal/distrib"
+	"tilespace/internal/schedule"
+	"tilespace/internal/simnet"
+	"tilespace/internal/tiling"
+)
+
+func TestProbeFactorFor(t *testing.T) {
+	// SOR paper scale: x targets 2 tiles over [1,m], y targets 8 over [2,m+n]
+	for _, mn := range [][2]int64{{100, 200}, {200, 200}, {100, 400}, {200, 400}} {
+		m, n := mn[0], mn[1]
+		x := factorFor(1, m, 2, false)
+		y := factorFor(2, m+n, 8, false)
+		fmt.Printf("SOR m=%d n=%d: x=%d (tiles %d), y=%d (tiles %d)\n",
+			m, n, x, tilesCount(1, m, x), y, tilesCount(2, m+n, y))
+	}
+}
+
+func TestProbeOverlap(t *testing.T) {
+	app, err := apps.SOR(40, 60)
+	if err != nil { t.Fatal(err) }
+	par := simnet.FastEthernetPIII()
+	par.Width = app.Width
+	fams := append([]apps.TilingFamily{app.Rect}, app.NonRect...)
+	for _, f := range fams {
+		for _, z := range []int64{5, 10, 20} {
+			ts, err := tiling.Analyze(app.Nest, f.H(factorFor(1, 40, 2, false), factorFor(2, 100, 8, false), z))
+			if err != nil { t.Fatal(err) }
+			d, err := distrib.New(ts, app.MapDim)
+			if err != nil { t.Fatal(err) }
+			r1, err := simnet.Simulate(d, par)
+			if err != nil { t.Fatal(err) }
+			p2 := par
+			p2.Overlap = true
+			r2, err := simnet.Simulate(d, p2)
+			if err != nil { t.Fatal(err) }
+			flag := ""
+			if r2.Makespan > r1.Makespan+1e-12 { flag = "  <-- OVERLAP SLOWER" }
+			fmt.Printf("%s z=%d: noovl=%.6f ovl=%.6f%s\n", f.Name, z, r1.Makespan, r2.Makespan, flag)
+		}
+	}
+}
+
+func TestProbeStepsVsPipelined(t *testing.T) {
+	app, _ := apps.ADI(20, 32)
+	fams := append([]apps.TilingFamily{app.Rect}, app.NonRect...)
+	for _, f := range fams {
+		ts, err := tiling.Analyze(app.Nest, f.H(4, 8, 8))
+		if err != nil { t.Fatal(err) }
+		d, err := distrib.New(ts, app.MapDim)
+		if err != nil { t.Fatal(err) }
+		pl := schedule.PipelinedLength(d)
+		pi := schedule.Uniform(ts.T.N)
+		ln := pi.Length(ts)
+		par := simnet.FastEthernetPIII()
+		par.Width = app.Width
+		res, err := simnet.Simulate(d, par)
+		if err != nil { t.Fatal(err) }
+		fmt.Printf("%s: PipelinedLength=%d Length=%d simSteps=%d procs=%d\n", f.Name, pl, ln, res.Steps, res.Procs)
+	}
+}

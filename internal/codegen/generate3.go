@@ -1,0 +1,247 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"tilespace/internal/rat"
+)
+
+// kernelFns emits in_space, initial_value, the original dependence table,
+// and the boundary-injection + compute loops for one tile.
+func (g *Generator) kernelFns(w *writer) {
+	w.blank()
+	w.line("/* original dependence vectors d_l (columns of D) */")
+	depRows := make([][]int64, g.ts.Nest.Q())
+	for l := range depRows {
+		depRows[l] = g.ts.Nest.Dep(l)
+	}
+	if len(depRows) > 0 {
+		for _, line := range cTable("DEPS", depRows) {
+			w.line("%s", line)
+		}
+	} else {
+		w.line("static const long DEPS[1][NDIM] = {{0}};")
+	}
+	w.blank()
+	w.line("/* in_space: does j satisfy every iteration-space inequality? */")
+	w.open("static int in_space(const long j[NDIM])")
+	for _, c := range g.ts.Nest.Space.Cons {
+		l := c.Rhs.Den
+		for _, x := range c.Coef {
+			l = rat.Lcm64(l, x.Den)
+		}
+		terms := []string{}
+		for k, x := range c.Coef {
+			v := x.MulInt(l).Int()
+			if v == 0 {
+				continue
+			}
+			terms = append(terms, fmt.Sprintf("%d*j[%d]", v, k))
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		w.line("if (!(%s <= %d)) return 0;", strings.Join(terms, " + "), c.Rhs.MulInt(l).Int())
+	}
+	w.line("return 1;")
+	w.close()
+	w.blank()
+	w.line("/* initial_value: boundary/initial data for points outside the space. */")
+	w.open("static void initial_value(const long j[NDIM], double *out)")
+	w.line("(void)j;")
+	w.line("%s", g.opts.InitialStmt)
+	w.close()
+	w.blank()
+	w.line("/* inject_boundary: place Initial values for reads that leave the space. */")
+	w.open("static void inject_boundary(const long jS[NDIM], long t, double *LA)")
+	g.emitZLoops(w, "jS", "", func() {
+		w.line("long j[NDIM];")
+		w.line("for (int k = 0; k < NDIM; k++) {")
+		w.indent++
+		w.line("j[k] = 0;")
+		w.line("for (int l = 0; l < NDIM; l++) j[k] += P[k][l]*jS[l] + U[k][l]*zv[l];")
+		w.indent--
+		w.line("}")
+		w.line("for (int l = 0; l < NDEPS; l++) {")
+		w.indent++
+		w.line("long src[NDIM];")
+		w.line("for (int k = 0; k < NDIM; k++) src[k] = j[k] - DEPS[l][k];")
+		w.line("if (in_space(src)) continue;")
+		w.line("double tmp[WIDTH];")
+		w.line("initial_value(src, tmp);")
+		w.line("double *cell = &LA[map_read(jp, DP[l], t) * WIDTH];")
+		w.line("for (int x = 0; x < WIDTH; x++) cell[x] = tmp[x];")
+		w.indent--
+		w.line("}")
+	})
+	w.close()
+	w.blank()
+	w.line("/* compute_tile: sweep the (boundary-clamped) TTIS lattice. */")
+	w.open("static void compute_tile(const long jS[NDIM], long t, double *LA)")
+	g.emitZLoops(w, "jS", "", func() {
+		w.line("long j[NDIM];")
+		w.line("for (int k = 0; k < NDIM; k++) {")
+		w.indent++
+		w.line("j[k] = 0;")
+		w.line("for (int l = 0; l < NDIM; l++) j[k] += P[k][l]*jS[l] + U[k][l]*zv[l];")
+		w.indent--
+		w.line("}")
+		w.line("(void)j;")
+		for l := 0; l < g.ts.Nest.Q(); l++ {
+			w.line("double *R%d = &LA[map_read(jp, DP[%d], t) * WIDTH];", l, l)
+			w.line("(void)R%d;", l)
+		}
+		w.line("double *out = &LA[map_cell(jp, t) * WIDTH];")
+		stmt := g.opts.KernelStmt
+		stmt = strings.ReplaceAll(stmt, "$W", "out")
+		for l := g.ts.Nest.Q() - 1; l >= 0; l-- {
+			stmt = strings.ReplaceAll(stmt, fmt.Sprintf("$R%d", l), fmt.Sprintf("R%d", l))
+		}
+		w.line("%s", stmt)
+	})
+	w.close()
+}
+
+// commFns emits region counting, RECEIVE and SEND exactly as §3.2.
+func (g *Generator) commFns(w *writer) {
+	w.blank()
+	w.line("/* region_count: number of communication points of tile s along DM[di]. */")
+	w.open("static long region_count(const long s[NDIM], int di)")
+	w.line("long dmf[NDIM];")
+	w.line("dm_full(di, dmf);")
+	w.line("long count = 0;")
+	w.openBlock()
+	g.emitZLoops(w, "s", "dmf", func() {
+		w.line("count++;")
+	})
+	w.close()
+	w.line("return count;")
+	w.close()
+	w.blank()
+	w.line("/* RECEIVE (§3.2): one message per (predecessor tile, processor direction),")
+	w.line(" * accepted at the minsucc tile and unpacked into this LDS. */")
+	w.open("static void receive_data(const long jS[NDIM], long chain_start, double *LA, double *buf)")
+	w.line("for (int si = 0; si < NTILEDEPS; si++) {")
+	w.indent++
+	w.line("int i = DSRECV[si];")
+	w.line("int di = DSDM[i];")
+	w.line("if (di < 0) continue; /* same-processor dependence */")
+	w.line("long pred[NDIM];")
+	w.line("for (int k = 0; k < NDIM; k++) pred[k] = jS[k] - DS[i][k];")
+	w.line("if (!tile_valid(pred)) continue;")
+	w.line("if (!minsucc_is(pred, di, jS)) continue;")
+	w.line("long count = region_count(pred, di);")
+	w.line("if (count == 0) continue;")
+	w.line("long srcpid[NDIM];")
+	w.line("long dmf[NDIM];")
+	w.line("dm_full(di, dmf);")
+	w.line("for (int k = 0; k < NDIM; k++) srcpid[k] = pred[k];")
+	w.line("MPI_Recv(buf, (int)(count * WIDTH), MPI_DOUBLE, rank_of_pid(srcpid), di, MPI_COMM_WORLD, MPI_STATUS_IGNORE);")
+	w.line("long tau = pred[MAPDIM] - chain_start;")
+	w.line("long idx = 0;")
+	w.openBlock()
+	g.emitZLoops(w, "pred", "dmf", func() {
+		w.line("double *cell = &LA[map_unpack(jp, dmf, tau) * WIDTH];")
+		w.line("for (int x = 0; x < WIDTH; x++) cell[x] = buf[idx++];")
+	})
+	w.close()
+	w.indent--
+	w.line("}")
+	w.close()
+	w.blank()
+	w.line("/* SEND (§3.2): one message per processor direction with a valid successor. */")
+	w.open("static void send_data(const long jS[NDIM], long t, double *LA, double *buf)")
+	w.line("for (int di = 0; di < NPROCDEPS; di++) {")
+	w.indent++
+	w.line("if (!has_successor(jS, di)) continue;")
+	w.line("long count = region_count(jS, di);")
+	w.line("if (count == 0) continue;")
+	w.line("long dmf[NDIM];")
+	w.line("dm_full(di, dmf);")
+	w.line("long dstpid[NDIM];")
+	w.line("for (int k = 0; k < NDIM; k++) dstpid[k] = jS[k] + dmf[k];")
+	w.line("long idx = 0;")
+	w.openBlock()
+	g.emitZLoops(w, "jS", "dmf", func() {
+		w.line("double *cell = &LA[map_cell(jp, t) * WIDTH];")
+		w.line("for (int x = 0; x < WIDTH; x++) buf[idx++] = cell[x];")
+	})
+	w.close()
+	w.line("MPI_Send(buf, (int)(count * WIDTH), MPI_DOUBLE, rank_of_pid(dstpid), di, MPI_COMM_WORLD);")
+	w.indent--
+	w.line("}")
+	w.close()
+}
+
+func (g *Generator) mainFn(w *writer) {
+	w.blank()
+	w.open("int main(int argc, char **argv)")
+	w.line("MPI_Init(&argc, &argv);")
+	w.line("int rank, nprocs;")
+	w.line("MPI_Comm_rank(MPI_COMM_WORLD, &rank);")
+	w.line("MPI_Comm_size(MPI_COMM_WORLD, &nprocs);")
+	w.line("if (nprocs < %d) {", g.d.NumProcs())
+	w.indent++
+	w.line("if (rank == 0) fprintf(stderr, \"%s needs %d MPI processes\\n\");", g.opts.Name, g.d.NumProcs())
+	w.line("MPI_Abort(MPI_COMM_WORLD, 1);")
+	w.indent--
+	w.line("}")
+	w.blank()
+	w.line("long jS[NDIM] = {0};")
+	w.line("double t0 = MPI_Wtime();")
+	w.line("if (find_pid(rank, jS)) {")
+	w.indent++
+	w.line("long lo, hi;")
+	w.line("chain_bounds(jS, &lo, &hi);")
+	w.line("long chain_len = hi - lo + 1;")
+	w.line("long cells = lds_init(chain_len);")
+	w.line("double *LA  = calloc((size_t)(cells * WIDTH), sizeof(double));")
+	w.line("double *buf = malloc((size_t)(%d * WIDTH) * sizeof(double));", g.ts.T.TileSize)
+	w.line("if (!LA || !buf) MPI_Abort(MPI_COMM_WORLD, 2);")
+	w.blank()
+	w.line("for (long tS = lo; tS <= hi; tS++) { /* the paper's FOR t^S loop */")
+	w.indent++
+	w.line("jS[MAPDIM] = tS;")
+	w.line("long t = tS - lo;")
+	w.line("receive_data(jS, lo, LA, buf);")
+	w.line("inject_boundary(jS, t, LA);")
+	w.line("compute_tile(jS, t, LA);")
+	w.line("send_data(jS, t, LA, buf);")
+	w.indent--
+	w.line("}")
+	w.blank()
+	w.line("/* checksum over this rank's own iteration points — exactly the")
+	w.line(" * computer-owns write-back set, so it matches a sequential sum. */")
+	w.line("(void)cells;")
+	w.line("double local = 0.0;")
+	w.line("for (long tS = lo; tS <= hi; tS++) {")
+	w.indent++
+	w.line("jS[MAPDIM] = tS;")
+	w.line("long t = tS - lo;")
+	w.openBlock()
+	g.emitZLoops(w, "jS", "", func() {
+		w.line("double *cell = &LA[map_cell(jp, t) * WIDTH];")
+		w.line("for (int x = 0; x < WIDTH; x++) local += cell[x];")
+	})
+	w.close()
+	w.indent--
+	w.line("}")
+	w.line("double total = 0.0;")
+	w.line("MPI_Reduce(&local, &total, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);")
+	w.line("if (rank == 0)")
+	w.line("    printf(\"%s: %%d procs, checksum %%.17g, %%.3f s\\n\", nprocs, total, MPI_Wtime() - t0);", g.opts.Name)
+	w.line("free(LA);")
+	w.line("free(buf);")
+	w.indent--
+	w.line("} else {")
+	w.indent++
+	w.line("/* ranks beyond the mesh idle through the same reduction */")
+	w.line("double local = 0.0, total;")
+	w.line("MPI_Reduce(&local, &total, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);")
+	w.indent--
+	w.line("}")
+	w.line("MPI_Finalize();")
+	w.line("return 0;")
+	w.close()
+}

@@ -1,0 +1,58 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"tilespace/internal/cone"
+	"tilespace/internal/distrib"
+)
+
+// Report renders the complete compile-time analysis of a distribution in
+// human-readable form — what the tilec CLI prints before emitting code.
+func Report(d *distrib.Distribution) string {
+	ts := d.TS
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== tiling analysis ===\n")
+	fmt.Fprintf(&b, "loop nest: depth %d, variables %s, %d dependencies\n",
+		ts.Nest.N, strings.Join(ts.Nest.Names, ", "), ts.Nest.Q())
+	fmt.Fprintf(&b, "\nD (dependence columns) =\n%v\n", ts.Nest.Deps)
+
+	c := cone.New(ts.Nest.Deps)
+	if rays, err := c.ExtremeRays(); err == nil {
+		fmt.Fprintf(&b, "\ntiling cone extreme rays:\n")
+		for _, r := range rays {
+			fmt.Fprintf(&b, "  %v\n", r)
+		}
+	}
+	fmt.Fprintf(&b, "\n%s\n", ts.T)
+	if rows := c.InteriorRows(ts.T.H); len(rows) > 0 {
+		fmt.Fprintf(&b, "note: H rows %v lie strictly inside the tiling cone — "+
+			"Hodzic-Shang predicts this shape is not time-optimal\n", rows)
+	} else {
+		fmt.Fprintf(&b, "all H rows lie on the tiling cone surface (scheduling-optimal family)\n")
+	}
+
+	fmt.Fprintf(&b, "\nD' = H'·D =\n%v\n", ts.DP)
+	fmt.Fprintf(&b, "\nD^S (tile dependencies):\n")
+	for _, dS := range ts.DS {
+		fmt.Fprintf(&b, "  %v\n", dS)
+	}
+	fmt.Fprintf(&b, "\ncommunication vector CC = %v\n", ts.CC)
+	fmt.Fprintf(&b, "LDS offsets off = %v (mapping dim m = %d)\n", d.Off, d.M+1)
+
+	fmt.Fprintf(&b, "\nD^m (processor dependencies):\n")
+	for _, dm := range d.DM {
+		fmt.Fprintf(&b, "  %v\n", dm)
+	}
+	fmt.Fprintf(&b, "\ntile space box: %v .. %v (%d tiles)\n", ts.TileLo, ts.TileHi, ts.NumTiles())
+	fmt.Fprintf(&b, "processors: %d\n", d.NumProcs())
+	for r := 0; r < d.NumProcs() && r < 8; r++ {
+		fmt.Fprintf(&b, "  rank %d: pid %v, chain [%d, %d], LDS shape %v (%d cells)\n",
+			r, d.Pids[r], d.ChainStart[r], d.ChainStart[r]+d.ChainLen[r]-1, d.LDSShape(r), d.LDSSize(r))
+	}
+	if d.NumProcs() > 8 {
+		fmt.Fprintf(&b, "  ... (%d more)\n", d.NumProcs()-8)
+	}
+	return b.String()
+}

@@ -1,0 +1,216 @@
+/* mock MPI implementation — see mpi.h for scope. */
+#define _GNU_SOURCE
+#include "mpi.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#define MOCK_MAX_RANKS 64
+#define MOCK_REDUCE_TAG 0x7ffffff0
+
+static int mock_size = 1;
+static int mock_rank = 0;
+/* pipes[src][dst][0] = read end, [1] = write end */
+static int pipes[MOCK_MAX_RANKS][MOCK_MAX_RANKS][2];
+static pid_t children[MOCK_MAX_RANKS];
+
+/* reorder buffer for tag-selective receives */
+struct pending {
+    int tag;
+    int count;
+    double *data;
+    struct pending *next;
+};
+static struct pending *pending_head[MOCK_MAX_RANKS];
+
+static void die(const char *what) {
+    fprintf(stderr, "mockmpi rank %d: %s: %s\n", mock_rank, what, strerror(errno));
+    exit(70);
+}
+
+int MPI_Init(int *argc, char ***argv) {
+    (void)argc;
+    (void)argv;
+    const char *env = getenv("MOCK_MPI_SIZE");
+    mock_size = env ? atoi(env) : 1;
+    if (mock_size < 1 || mock_size > MOCK_MAX_RANKS) {
+        fprintf(stderr, "mockmpi: bad MOCK_MPI_SIZE\n");
+        exit(64);
+    }
+    for (int i = 0; i < mock_size; i++) {
+        for (int j = 0; j < mock_size; j++) {
+            if (pipe(pipes[i][j]) != 0) die("pipe");
+#ifdef F_SETPIPE_SZ
+            /* enlarge so eager sends of whole tile faces never block */
+            fcntl(pipes[i][j][1], F_SETPIPE_SZ, 1 << 20);
+#endif
+        }
+    }
+    mock_rank = 0; /* parent is rank 0 */
+    for (int r = 1; r < mock_size; r++) {
+        pid_t pid = fork();
+        if (pid < 0) die("fork");
+        if (pid == 0) {
+            mock_rank = r;
+            break;
+        }
+        children[r] = pid;
+    }
+    return 0;
+}
+
+int MPI_Comm_rank(MPI_Comm comm, int *rank) {
+    (void)comm;
+    *rank = mock_rank;
+    return 0;
+}
+
+int MPI_Comm_size(MPI_Comm comm, int *size) {
+    (void)comm;
+    *size = mock_size;
+    return 0;
+}
+
+static void write_all(int fd, const void *buf, size_t n) {
+    const char *p = buf;
+    while (n > 0) {
+        ssize_t w = write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            die("write");
+        }
+        p += w;
+        n -= (size_t)w;
+    }
+}
+
+static void read_all(int fd, void *buf, size_t n) {
+    char *p = buf;
+    while (n > 0) {
+        ssize_t r = read(fd, p, n);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            die("read");
+        }
+        if (r == 0) {
+            fprintf(stderr, "mockmpi rank %d: unexpected EOF\n", mock_rank);
+            exit(71);
+        }
+        p += r;
+        n -= (size_t)r;
+    }
+}
+
+int MPI_Send(const void *buf, int count, MPI_Datatype dt, int dest, int tag, MPI_Comm comm) {
+    (void)dt;
+    (void)comm;
+    int fd = pipes[mock_rank][dest][1];
+    int hdr[2] = {tag, count};
+    write_all(fd, hdr, sizeof hdr);
+    if (count > 0) write_all(fd, buf, (size_t)count * sizeof(double));
+    return 0;
+}
+
+int MPI_Recv(void *buf, int count, MPI_Datatype dt, int src, int tag, MPI_Comm comm, MPI_Status *st) {
+    (void)dt;
+    (void)comm;
+    /* check the reorder buffer first */
+    struct pending **pp = &pending_head[src];
+    for (; *pp; pp = &(*pp)->next) {
+        if ((*pp)->tag == tag) {
+            struct pending *m = *pp;
+            if (m->count > count) {
+                fprintf(stderr, "mockmpi rank %d: message truncation\n", mock_rank);
+                exit(72);
+            }
+            memcpy(buf, m->data, (size_t)m->count * sizeof(double));
+            if (st) { st->source = src; st->tag = tag; }
+            *pp = m->next;
+            free(m->data);
+            free(m);
+            return 0;
+        }
+    }
+    /* drain the pipe until the wanted tag arrives */
+    int fd = pipes[src][mock_rank][0];
+    for (;;) {
+        int hdr[2];
+        read_all(fd, hdr, sizeof hdr);
+        if (hdr[0] == tag) {
+            if (hdr[1] > count) {
+                fprintf(stderr, "mockmpi rank %d: message truncation\n", mock_rank);
+                exit(72);
+            }
+            if (hdr[1] > 0) read_all(fd, buf, (size_t)hdr[1] * sizeof(double));
+            if (st) { st->source = src; st->tag = tag; }
+            return 0;
+        }
+        struct pending *m = malloc(sizeof *m);
+        if (!m) die("malloc");
+        m->tag = hdr[0];
+        m->count = hdr[1];
+        m->data = malloc((size_t)(hdr[1] > 0 ? hdr[1] : 1) * sizeof(double));
+        if (!m->data) die("malloc");
+        if (hdr[1] > 0) read_all(fd, m->data, (size_t)hdr[1] * sizeof(double));
+        m->next = pending_head[src];
+        pending_head[src] = m;
+    }
+}
+
+int MPI_Reduce(const void *send, void *recv, int count, MPI_Datatype dt, MPI_Op op, int root, MPI_Comm comm) {
+    (void)dt;
+    if (op != MPI_SUM) {
+        fprintf(stderr, "mockmpi: only MPI_SUM is implemented\n");
+        exit(73);
+    }
+    if (mock_rank != root) {
+        return MPI_Send(send, count, MPI_DOUBLE, root, MOCK_REDUCE_TAG, comm);
+    }
+    double *acc = recv;
+    memcpy(acc, send, (size_t)count * sizeof(double));
+    double *tmp = malloc((size_t)(count > 0 ? count : 1) * sizeof(double));
+    if (!tmp) die("malloc");
+    for (int r = 0; r < mock_size; r++) {
+        if (r == root) continue;
+        MPI_Recv(tmp, count, MPI_DOUBLE, r, MOCK_REDUCE_TAG, comm, MPI_STATUS_IGNORE);
+        for (int i = 0; i < count; i++) acc[i] += tmp[i];
+    }
+    free(tmp);
+    return 0;
+}
+
+int MPI_Abort(MPI_Comm comm, int code) {
+    (void)comm;
+    exit(code);
+}
+
+int MPI_Finalize(void) {
+    if (mock_rank != 0) {
+        /* child ranks end here; exiting from main would double-free with
+         * some libc exit handlers under fork, so flush and leave */
+        fflush(NULL);
+        _exit(0);
+    }
+    for (int r = 1; r < mock_size; r++) {
+        int status = 0;
+        if (waitpid(children[r], &status, 0) < 0) die("waitpid");
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            fprintf(stderr, "mockmpi: rank %d failed (status %d)\n", r, status);
+            exit(74);
+        }
+    }
+    return 0;
+}
+
+double MPI_Wtime(void) {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return (double)tv.tv_sec + (double)tv.tv_usec * 1e-6;
+}

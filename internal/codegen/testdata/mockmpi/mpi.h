@@ -1,0 +1,36 @@
+/*
+ * mock MPI — a minimal single-machine MPI implementation used by the
+ * tilespace test suite to actually execute generated MPI programs without
+ * an MPI installation. MPI_Init forks one process per rank (world size
+ * from the MOCK_MPI_SIZE environment variable); point-to-point messages
+ * travel over per-(src,dst) pipes with (tag, count) framing and per-rank
+ * reorder buffers for tag-selective receives.
+ *
+ * Supports exactly the calls the tilespace code generator emits:
+ * Init/Finalize, Comm_rank/Comm_size, Send/Recv (MPI_DOUBLE only),
+ * Reduce(MPI_SUM), Abort, Wtime.
+ */
+#ifndef MOCK_MPI_H
+#define MOCK_MPI_H
+
+typedef int MPI_Comm;
+typedef int MPI_Datatype;
+typedef int MPI_Op;
+typedef struct { int source, tag; } MPI_Status;
+
+#define MPI_COMM_WORLD 0
+#define MPI_DOUBLE 1
+#define MPI_SUM 2
+#define MPI_STATUS_IGNORE ((MPI_Status *)0)
+
+int MPI_Init(int *argc, char ***argv);
+int MPI_Comm_rank(MPI_Comm comm, int *rank);
+int MPI_Comm_size(MPI_Comm comm, int *size);
+int MPI_Send(const void *buf, int count, MPI_Datatype dt, int dest, int tag, MPI_Comm comm);
+int MPI_Recv(void *buf, int count, MPI_Datatype dt, int src, int tag, MPI_Comm comm, MPI_Status *st);
+int MPI_Reduce(const void *send, void *recv, int count, MPI_Datatype dt, MPI_Op op, int root, MPI_Comm comm);
+int MPI_Abort(MPI_Comm comm, int code);
+int MPI_Finalize(void);
+double MPI_Wtime(void);
+
+#endif

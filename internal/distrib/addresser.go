@@ -1,0 +1,91 @@
+package distrib
+
+import (
+	"tilespace/internal/ilin"
+	"tilespace/internal/rat"
+)
+
+// Addresser computes flat LDS indices for one processor rank without
+// allocating — the execution hot path evaluates Map ∘ Flatten per
+// dependence per iteration point.
+type Addresser struct {
+	n      int
+	m      int
+	off    ilin.Vec
+	c, v   ilin.Vec
+	shape  ilin.Vec
+	stride ilin.Vec // row-major flattening strides
+}
+
+// Addresser returns the flat addresser for processor rank r.
+func (d *Distribution) Addresser(r int) *Addresser {
+	shape := d.LDSShape(r)
+	n := len(shape)
+	stride := make(ilin.Vec, n)
+	s := int64(1)
+	for k := n - 1; k >= 0; k-- {
+		stride[k] = s
+		s *= shape[k]
+	}
+	return &Addresser{
+		n: n, m: d.M, off: d.Off.Clone(),
+		c: d.TS.T.C.Clone(), v: d.TS.T.V.Clone(),
+		shape: shape, stride: stride,
+	}
+}
+
+// Size returns the number of LDS cells.
+func (a *Addresser) Size() int64 { return a.stride[0] * a.shape[0] }
+
+// Flat returns Flatten(Map(j', t)): the flat cell of TTIS point j' in
+// chain slot t.
+func (a *Addresser) Flat(jp ilin.Vec, t int64) int64 {
+	var idx int64
+	for k := 0; k < a.n; k++ {
+		var cell int64
+		if k == a.m {
+			cell = rat.FloorDiv(t*a.v[k]+jp[k], a.c[k]) + a.off[k]
+		} else {
+			cell = rat.FloorDiv(jp[k], a.c[k]) + a.off[k]
+		}
+		idx += cell * a.stride[k]
+	}
+	return idx
+}
+
+// FlatRead returns the flat cell a compute step reads for dependence d':
+// Flatten(Map(j' − d', t)). Negative components land in the offset pads or
+// earlier chain slots, exactly as the paper's map() does.
+func (a *Addresser) FlatRead(jp, dp ilin.Vec, t int64) int64 {
+	var idx int64
+	for k := 0; k < a.n; k++ {
+		x := jp[k] - dp[k]
+		var cell int64
+		if k == a.m {
+			cell = rat.FloorDiv(t*a.v[k]+x, a.c[k]) + a.off[k]
+		} else {
+			cell = rat.FloorDiv(x, a.c[k]) + a.off[k]
+		}
+		idx += cell * a.stride[k]
+	}
+	return idx
+}
+
+// FlatUnpack returns the flat cell where received data is stored: the
+// owner-tile point p' of predecessor tile s (whose m-coordinate places it
+// at chain offset tau = s_m − chainStart on this processor), shifted by
+// the processor direction d^m on the non-mapping dimensions. Every future
+// read of this value through any dependence resolves to this cell.
+func (a *Addresser) FlatUnpack(pp ilin.Vec, dmFull ilin.Vec, tau int64) int64 {
+	var idx int64
+	for k := 0; k < a.n; k++ {
+		var cell int64
+		if k == a.m {
+			cell = rat.FloorDiv(tau*a.v[k]+pp[k], a.c[k]) + a.off[k]
+		} else {
+			cell = rat.FloorDiv(pp[k]-a.v[k]*dmFull[k], a.c[k]) + a.off[k]
+		}
+		idx += cell * a.stride[k]
+	}
+	return idx
+}

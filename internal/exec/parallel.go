@@ -1,0 +1,292 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"tilespace/internal/ilin"
+	"tilespace/internal/mpi"
+)
+
+// RunParallel executes the program as the paper's generated data-parallel
+// code: one mpi rank per processor, each running its tile chain with the
+// §3.2 protocol — RECEIVE (one message per (predecessor tile, processor
+// direction), delivered at the minsucc tile), compute over the clamped
+// TTIS lattice reading/writing the LDS through map(), SEND (one message
+// per processor direction packing the union region j'_k ≥ cc_k). Results
+// are written back to the global data space via the computer-owns rule.
+//
+// It returns the global array and the runtime's traffic statistics.
+func (p *Program) RunParallel() (*Global, mpi.Stats, error) {
+	lo, hi, err := p.TS.Nest.BoundingBox()
+	if err != nil {
+		return nil, mpi.Stats{}, err
+	}
+	g := NewGlobal(lo, hi, p.Width)
+
+	world := mpi.NewWorld(p.Dist.NumProcs())
+	var (
+		mu     sync.Mutex
+		runErr error
+	)
+	world.Run(func(c *mpi.Comm) {
+		if err := p.runRank(c, g); err != nil {
+			mu.Lock()
+			if runErr == nil {
+				runErr = err
+			}
+			mu.Unlock()
+		}
+	})
+	if runErr != nil {
+		return nil, mpi.Stats{}, runErr
+	}
+	return g, world.Stats(), nil
+}
+
+// rankState caches per-rank compiled pieces.
+type rankState struct {
+	p    *Program
+	c    *mpi.Comm
+	rank int
+
+	la   []float64 // the LDS backing array, Width values per cell
+	addr addrIface
+
+	deps   []ilin.Vec // original dependence vectors d_l
+	dps    []ilin.Vec // transformed d'_l
+	dmTags map[string]int
+
+	tileCounts map[string]int64 // cache for interior-tile detection
+}
+
+// addrIface narrows the distrib.Addresser surface used here (helps tests
+// substitute instrumented addressers).
+type addrIface interface {
+	Flat(jp ilin.Vec, t int64) int64
+	FlatRead(jp, dp ilin.Vec, t int64) int64
+	FlatUnpack(pp ilin.Vec, dmFull ilin.Vec, tau int64) int64
+	Size() int64
+}
+
+func (p *Program) runRank(c *mpi.Comm, g *Global) error {
+	r := c.Rank()
+	st := &rankState{
+		p: p, c: c, rank: r,
+		addr:       p.Dist.Addresser(r),
+		dmTags:     map[string]int{},
+		tileCounts: map[string]int64{},
+	}
+	st.la = make([]float64, st.addr.Size()*int64(p.Width))
+	q := p.TS.Nest.Q()
+	for l := 0; l < q; l++ {
+		st.deps = append(st.deps, p.TS.Nest.Dep(l))
+		st.dps = append(st.dps, p.TS.DP.Col(l))
+	}
+	for i, dm := range p.Dist.DM {
+		st.dmTags[dm.String()] = i
+	}
+
+	for t := int64(0); t < p.Dist.ChainLen[r]; t++ {
+		tile := p.Dist.TileAt(r, t)
+		if err := st.receivePhase(tile, t); err != nil {
+			return err
+		}
+		st.initPhase(tile, t)
+		st.computePhase(tile, t)
+		if err := st.sendPhase(tile); err != nil {
+			return err
+		}
+	}
+	st.writeBack(g)
+	return nil
+}
+
+// commRegion delegates to the shared distrib.CommRegion (§3.2 pack/unpack
+// region); sender and receiver evaluate it identically, so message
+// contents pair up without extra headers.
+func (st *rankState) commRegion(s ilin.Vec, dm ilin.Vec, fn func(z, jp ilin.Vec) bool) int64 {
+	return st.p.Dist.CommRegion(s, dm, fn)
+}
+
+// dmFull re-inserts the mapping dimension (as 0) into a processor
+// direction.
+func (st *rankState) dmFull(dm ilin.Vec) ilin.Vec {
+	m := st.p.Dist.M
+	out := make(ilin.Vec, 0, len(dm)+1)
+	out = append(out, dm[:m]...)
+	out = append(out, 0)
+	return append(out, dm[m:]...)
+}
+
+// receivePhase implements the paper's RECEIVE: for every tile dependence
+// d^S whose predecessor is valid and for which this tile is the
+// lexicographically minimum successor along d^m(d^S), receive one message
+// from processor pid − d^m and unpack it into the LDS.
+func (st *rankState) receivePhase(tile ilin.Vec, t int64) error {
+	d := st.p.Dist
+	w := st.p.Width
+	// Two tile dependencies with the same d^m but different m-components
+	// deliver on one FIFO stream and can target the same receiving tile;
+	// the sender emits the lower-m predecessor's message first, so process
+	// receives in descending d^S_m (= ascending predecessor m) order.
+	order := make([]ilin.Vec, len(st.p.TS.DS))
+	copy(order, st.p.TS.DS)
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i][d.M] > order[j][d.M]
+	})
+	for _, dS := range order {
+		dm := d.DmOf(dS)
+		if dm.IsZero() {
+			continue // same-processor dependence: data is already in the LDS
+		}
+		pred := tile.Sub(dS)
+		if !st.p.TS.ValidTile(pred) {
+			continue
+		}
+		if ms, ok := d.MinSucc(pred, dm); !ok || !ms.Equal(tile) {
+			continue
+		}
+		n := st.commRegion(pred, dm, nil)
+		if n == 0 {
+			continue
+		}
+		srcRank, ok := d.Rank(d.PidOf(pred))
+		if !ok {
+			return fmt.Errorf("exec: predecessor tile %v has no rank", pred)
+		}
+		tag := st.dmTags[dm.String()]
+		buf := st.c.Recv(srcRank, tag)
+		if int64(len(buf)) != n*int64(w) {
+			return fmt.Errorf("exec: rank %d tile %v: message from rank %d tag %d has %d values, expected %d", st.rank, tile, srcRank, tag, len(buf), n*int64(w))
+		}
+		tau := pred[d.M] - d.ChainStart[st.rank]
+		dmF := st.dmFull(dm)
+		i := 0
+		st.commRegion(pred, dm, func(z, pp ilin.Vec) bool {
+			cell := st.addr.FlatUnpack(pp, dmF, tau) * int64(w)
+			copy(st.la[cell:cell+int64(w)], buf[i:i+w])
+			i += w
+			return true
+		})
+	}
+	return nil
+}
+
+// interiorTile reports whether every read of every point of the tile
+// resolves inside the iteration space, so the Initial injection can be
+// skipped: the tile and all its D^S predecessors must be full.
+func (st *rankState) interiorTile(tile ilin.Vec) bool {
+	full := func(s ilin.Vec) bool {
+		key := s.String()
+		cnt, ok := st.tileCounts[key]
+		if !ok {
+			cnt = st.p.TS.TilePointCount(s)
+			st.tileCounts[key] = cnt
+		}
+		return cnt == st.p.TS.T.TileSize
+	}
+	if !full(tile) {
+		return false
+	}
+	for _, dS := range st.p.TS.DS {
+		pred := tile.Sub(dS)
+		if !st.p.TS.ValidTile(pred) || !full(pred) {
+			return false
+		}
+	}
+	return true
+}
+
+// initPhase injects Initial values for reads that fall outside the
+// iteration space (boundary tiles only).
+func (st *rankState) initPhase(tile ilin.Vec, t int64) {
+	if st.interiorTile(tile) {
+		return
+	}
+	w := st.p.Width
+	n := st.p.TS.T.N
+	src := make(ilin.Vec, n)
+	buf := make([]float64, w)
+	st.p.TS.ScanTilePoints(tile, func(z, jp ilin.Vec) bool {
+		j := st.p.TS.GlobalOf(tile, z)
+		for l := range st.deps {
+			for k := 0; k < n; k++ {
+				src[k] = j[k] - st.deps[l][k]
+			}
+			if st.p.TS.Nest.Space.Contains(src) {
+				continue
+			}
+			st.p.Initial(src, buf)
+			cell := st.addr.FlatRead(jp, st.dps[l], t) * int64(w)
+			copy(st.la[cell:cell+int64(w)], buf)
+		}
+		return true
+	})
+}
+
+// computePhase sweeps the tile's lattice points, reading each dependence
+// through map(j'−d', t) and writing the result at map(j', t).
+func (st *rankState) computePhase(tile ilin.Vec, t int64) {
+	w := st.p.Width
+	q := len(st.deps)
+	reads := make([][]float64, q)
+	st.p.TS.ScanTilePoints(tile, func(z, jp ilin.Vec) bool {
+		for l := 0; l < q; l++ {
+			cell := st.addr.FlatRead(jp, st.dps[l], t) * int64(w)
+			reads[l] = st.la[cell : cell+int64(w)]
+		}
+		j := st.p.TS.GlobalOf(tile, z)
+		out := st.addr.Flat(jp, t) * int64(w)
+		st.p.Kernel(j, reads, st.la[out:out+int64(w)])
+		return true
+	})
+}
+
+// sendPhase implements the paper's SEND: one message per processor
+// direction d^m with at least one valid successor tile, packing this
+// tile's communication region.
+func (st *rankState) sendPhase(tile ilin.Vec) error {
+	d := st.p.Dist
+	w := st.p.Width
+	t := tile[d.M] - d.ChainStart[st.rank]
+	for i, dm := range d.DM {
+		if !d.HasSuccessor(tile, dm) {
+			continue
+		}
+		n := st.commRegion(tile, dm, nil)
+		if n == 0 {
+			continue
+		}
+		dstPid := d.PidOf(tile).Add(dm)
+		dstRank, ok := d.Rank(dstPid)
+		if !ok {
+			return fmt.Errorf("exec: successor pid %v of tile %v has no rank", dstPid, tile)
+		}
+		buf := make([]float64, 0, n*int64(w))
+		st.commRegion(tile, dm, func(z, jp ilin.Vec) bool {
+			cell := st.addr.Flat(jp, t) * int64(w)
+			buf = append(buf, st.la[cell:cell+int64(w)]...)
+			return true
+		})
+		st.c.Send(dstRank, i, buf)
+	}
+	return nil
+}
+
+// writeBack copies this rank's computed values to the global data space
+// via the computer-owns rule. Ranks own disjoint iteration points, so the
+// concurrent writes touch disjoint memory.
+func (st *rankState) writeBack(g *Global) {
+	w := st.p.Width
+	for t := int64(0); t < st.p.Dist.ChainLen[st.rank]; t++ {
+		tile := st.p.Dist.TileAt(st.rank, t)
+		st.p.TS.ScanTilePoints(tile, func(z, jp ilin.Vec) bool {
+			j := st.p.TS.GlobalOf(tile, z)
+			cell := st.addr.Flat(jp, t) * int64(w)
+			g.Set(j, st.la[cell:cell+int64(w)])
+			return true
+		})
+	}
+}

@@ -1,0 +1,281 @@
+package frontend
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tilespace/internal/ilin"
+	"tilespace/internal/rat"
+)
+
+// expr is the AST of a parsed arithmetic expression.
+type expr interface{ String() string }
+
+type numExpr struct {
+	text string // original literal, preserved for C output
+	val  float64
+}
+
+func (e *numExpr) String() string { return e.text }
+
+// varExpr is a loop variable or parameter occurrence (bounds only).
+type varExpr struct{ name string }
+
+func (e *varExpr) String() string { return e.name }
+
+// refExpr is an array read in the statement, resolved to a dependence
+// index and an array slot (multi-array statements carry one value per
+// array at each iteration point).
+type refExpr struct {
+	dep     int      // index into the program's dependence list
+	slot    int      // index of the referenced array in the value vector
+	offsets ilin.Vec // index offsets (var_k + offsets[k])
+}
+
+func (e *refExpr) String() string { return fmt.Sprintf("ref#%d.%d", e.dep, e.slot) }
+
+type binExpr struct {
+	op   byte // + - * /
+	l, r expr
+}
+
+func (e *binExpr) String() string {
+	return fmt.Sprintf("(%s %c %s)", e.l, e.op, e.r)
+}
+
+type negExpr struct{ x expr }
+
+func (e *negExpr) String() string { return fmt.Sprintf("(-%s)", e.x) }
+
+// parseExpr parses with standard precedence: (+,-) < (*,/) < unary.
+// refs, when non-nil, enables ARRAY[...] references (statement context)
+// and resolves them through the resolver callback.
+type refResolver func(array string, indices []expr) (expr, error)
+
+func parseExpr(t *tokens, refs refResolver) (expr, error) {
+	return parseAdd(t, refs)
+}
+
+func parseAdd(t *tokens, refs refResolver) (expr, error) {
+	l, err := parseMul(t, refs)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case t.accept("+"):
+			r, err := parseMul(t, refs)
+			if err != nil {
+				return nil, err
+			}
+			l = &binExpr{op: '+', l: l, r: r}
+		case t.accept("-"):
+			r, err := parseMul(t, refs)
+			if err != nil {
+				return nil, err
+			}
+			l = &binExpr{op: '-', l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func parseMul(t *tokens, refs refResolver) (expr, error) {
+	l, err := parseUnary(t, refs)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case t.accept("*"):
+			r, err := parseUnary(t, refs)
+			if err != nil {
+				return nil, err
+			}
+			l = &binExpr{op: '*', l: l, r: r}
+		case t.accept("/"):
+			r, err := parseUnary(t, refs)
+			if err != nil {
+				return nil, err
+			}
+			l = &binExpr{op: '/', l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func parseUnary(t *tokens, refs refResolver) (expr, error) {
+	if t.accept("-") {
+		x, err := parseUnary(t, refs)
+		if err != nil {
+			return nil, err
+		}
+		return &negExpr{x: x}, nil
+	}
+	return parseAtom(t, refs)
+}
+
+func parseAtom(t *tokens, refs refResolver) (expr, error) {
+	tk := t.peek()
+	switch tk.kind {
+	case tokNumber:
+		t.next()
+		v, err := strconv.ParseFloat(tk.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad number %q", t.line, tk.text)
+		}
+		return &numExpr{text: tk.text, val: v}, nil
+	case tokIdent:
+		t.next()
+		if t.peek().kind == tokPunct && t.peek().text == "[" {
+			if refs == nil {
+				return nil, fmt.Errorf("line %d: array reference %q not allowed here", t.line, tk.text)
+			}
+			t.next() // consume '['
+			var indices []expr
+			for {
+				idx, err := parseExpr(t, nil)
+				if err != nil {
+					return nil, err
+				}
+				indices = append(indices, idx)
+				if t.accept(",") {
+					continue
+				}
+				if err := t.expect("]"); err != nil {
+					return nil, err
+				}
+				break
+			}
+			return refs(tk.text, indices)
+		}
+		return &varExpr{name: tk.text}, nil
+	case tokPunct:
+		if tk.text == "(" {
+			t.next()
+			inner, err := parseExpr(t, refs)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.expect(")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+	}
+	if tk.kind == tokEOF {
+		return nil, fmt.Errorf("line %d: unexpected end of line (expression expected)", t.line)
+	}
+	return nil, fmt.Errorf("line %d: unexpected token %q", t.line, tk.text)
+}
+
+// affineOf reduces a bounds expression to Σ coef_k·var_k + const with
+// exact rational arithmetic. vars maps loop-variable names to indices;
+// params supplies bound integer parameters.
+func affineOf(e expr, vars map[string]int, params map[string]int64, n int) (ilin.RatVec, rat.Rat, error) {
+	zero := make(ilin.RatVec, n)
+	for i := range zero {
+		zero[i] = rat.Zero
+	}
+	switch x := e.(type) {
+	case *numExpr:
+		// Bounds must be integer-valued expressions.
+		iv, err := strconv.ParseInt(x.text, 10, 64)
+		if err != nil {
+			return nil, rat.Zero, fmt.Errorf("bound literal %q must be an integer", x.text)
+		}
+		return zero, rat.FromInt(iv), nil
+	case *varExpr:
+		if p, ok := params[x.name]; ok {
+			return zero, rat.FromInt(p), nil
+		}
+		if k, ok := vars[x.name]; ok {
+			coef := zero.Clone()
+			coef[k] = rat.One
+			return coef, rat.Zero, nil
+		}
+		return nil, rat.Zero, fmt.Errorf("unknown name %q in bound", x.name)
+	case *negExpr:
+		c, k, err := affineOf(x.x, vars, params, n)
+		if err != nil {
+			return nil, rat.Zero, err
+		}
+		return c.Scale(rat.FromInt(-1)), k.Neg(), nil
+	case *binExpr:
+		lc, lk, err := affineOf(x.l, vars, params, n)
+		if err != nil {
+			return nil, rat.Zero, err
+		}
+		rc, rk, err := affineOf(x.r, vars, params, n)
+		if err != nil {
+			return nil, rat.Zero, err
+		}
+		switch x.op {
+		case '+':
+			return lc.Add(rc), lk.Add(rk), nil
+		case '-':
+			return lc.Sub(rc), lk.Sub(rk), nil
+		case '*':
+			if lc.IsZero() {
+				return rc.Scale(lk), rk.Mul(lk), nil
+			}
+			if rc.IsZero() {
+				return lc.Scale(rk), lk.Mul(rk), nil
+			}
+			return nil, rat.Zero, fmt.Errorf("non-affine bound: product of two variable expressions")
+		case '/':
+			if !rc.IsZero() || rk.IsZero() {
+				return nil, rat.Zero, fmt.Errorf("non-affine bound: division by a variable expression")
+			}
+			return lc.Scale(rk.Inv()), lk.Div(rk), nil
+		}
+	}
+	return nil, rat.Zero, fmt.Errorf("unsupported bound expression %v", e)
+}
+
+// evalExpr evaluates a statement expression given the dependence reads.
+func evalExpr(e expr, reads [][]float64) float64 {
+	switch x := e.(type) {
+	case *numExpr:
+		return x.val
+	case *refExpr:
+		return reads[x.dep][x.slot]
+	case *negExpr:
+		return -evalExpr(x.x, reads)
+	case *binExpr:
+		l, r := evalExpr(x.l, reads), evalExpr(x.r, reads)
+		switch x.op {
+		case '+':
+			return l + r
+		case '-':
+			return l - r
+		case '*':
+			return l * r
+		case '/':
+			return l / r
+		}
+	}
+	panic(fmt.Sprintf("frontend: unevaluable expression %v", e))
+}
+
+// cExpr renders a statement expression as C, with dependence reads mapped
+// to the generator's $Rl placeholders.
+func cExpr(e expr) string {
+	switch x := e.(type) {
+	case *numExpr:
+		if strings.ContainsAny(x.text, ".eE") {
+			return x.text
+		}
+		return x.text + ".0"
+	case *refExpr:
+		return fmt.Sprintf("$R%d[%d]", x.dep, x.slot)
+	case *negExpr:
+		return "(-" + cExpr(x.x) + ")"
+	case *binExpr:
+		return "(" + cExpr(x.l) + " " + string(x.op) + " " + cExpr(x.r) + ")"
+	}
+	panic(fmt.Sprintf("frontend: unrenderable expression %v", e))
+}

@@ -1,0 +1,104 @@
+package ilin
+
+import "tilespace/internal/rat"
+
+// rref reduces m to row echelon form in place and returns the pivot column
+// of each pivot row.
+func rref(m *RatMat) []int {
+	pivots := []int{}
+	row := 0
+	for col := 0; col < m.Cols && row < m.Rows; col++ {
+		pr := -1
+		for r := row; r < m.Rows; r++ {
+			if !m.At(r, col).IsZero() {
+				pr = r
+				break
+			}
+		}
+		if pr < 0 {
+			continue
+		}
+		if pr != row {
+			m.swapRows(pr, row)
+		}
+		p := m.At(row, col).Inv()
+		for c := col; c < m.Cols; c++ {
+			m.Set(row, c, m.At(row, c).Mul(p))
+		}
+		for r := 0; r < m.Rows; r++ {
+			if r == row {
+				continue
+			}
+			f := m.At(r, col)
+			if f.IsZero() {
+				continue
+			}
+			for c := col; c < m.Cols; c++ {
+				m.Set(r, c, m.At(r, c).Sub(f.Mul(m.At(row, c))))
+			}
+		}
+		pivots = append(pivots, col)
+		row++
+	}
+	return pivots
+}
+
+// Rank returns the rank of m over the rationals.
+func (m *RatMat) Rank() int {
+	w := m.Clone()
+	return len(rref(w))
+}
+
+// NullSpace returns a basis of {x : m·x = 0} as rational vectors (one per
+// free column of the reduced row echelon form). The zero-dimensional null
+// space yields an empty slice.
+func (m *RatMat) NullSpace() []RatVec {
+	w := m.Clone()
+	pivots := rref(w)
+	isPivot := make([]bool, m.Cols)
+	for _, p := range pivots {
+		isPivot[p] = true
+	}
+	var basis []RatVec
+	for free := 0; free < m.Cols; free++ {
+		if isPivot[free] {
+			continue
+		}
+		v := make(RatVec, m.Cols)
+		for i := range v {
+			v[i] = rat.Zero
+		}
+		v[free] = rat.One
+		// Back-substitute: pivot row r has 1 in column pivots[r]; solve
+		// x_pivot = -sum(free coefficients).
+		for r, p := range pivots {
+			v[p] = w.At(r, free).Neg()
+		}
+		basis = append(basis, v)
+	}
+	return basis
+}
+
+// Primitive scales a rational vector by the positive factor that makes it
+// an integer vector with gcd 1. The zero vector is returned unchanged.
+func Primitive(v RatVec) Vec {
+	l := int64(1)
+	for _, x := range v {
+		l = rat.Lcm64(l, x.Den)
+	}
+	if l == 0 {
+		l = 1
+	}
+	out := make(Vec, len(v))
+	g := int64(0)
+	for i, x := range v {
+		out[i] = x.MulInt(l).Int()
+		g = rat.Gcd64(g, out[i])
+	}
+	if g > 1 {
+		for i := range out {
+			out[i] /= g
+		}
+	}
+	return out
+}

@@ -1,0 +1,423 @@
+// Package mpi is an in-process message-passing runtime with MPI-like
+// semantics: a fixed-size world of ranks (goroutines), blocking typed
+// point-to-point Send/Recv with (source, tag) matching and per-stream FIFO
+// ordering, barriers and the collectives the generated programs use.
+//
+// It substitutes for the paper's MPI-over-FastEthernet transport (Go has no
+// mature MPI binding): the compiled tile programs only rely on ordered
+// point-to-point delivery plus a barrier, which this package provides with
+// the same semantics. Sends are "eager" (buffered, non-blocking) as in
+// MPI's small-message path; timing behaviour is modelled separately by the
+// simnet package.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Message is a delivered payload with its envelope.
+type Message struct {
+	Source int
+	Tag    int
+	Data   []float64
+}
+
+type streamKey struct {
+	src, tag int
+}
+
+// mailbox is one rank's incoming message store: per-(source, tag) FIFO
+// queues guarded by a single condition variable.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[streamKey][]Message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{queues: map[streamKey][]Message{}}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m Message) {
+	mb.mu.Lock()
+	k := streamKey{m.Source, m.Tag}
+	mb.queues[k] = append(mb.queues[k], m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+func (mb *mailbox) take(src, tag int) Message {
+	k := streamKey{src, tag}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queues[k]) == 0 {
+		mb.cond.Wait()
+	}
+	q := mb.queues[k]
+	m := q[0]
+	mb.queues[k] = q[1:]
+	return m
+}
+
+func (mb *mailbox) tryTake(src, tag int) (Message, bool) {
+	k := streamKey{src, tag}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if len(mb.queues[k]) == 0 {
+		return Message{}, false
+	}
+	q := mb.queues[k]
+	m := q[0]
+	mb.queues[k] = q[1:]
+	return m, true
+}
+
+// Stats aggregates per-world traffic counters.
+type Stats struct {
+	Messages int64 // point-to-point messages sent
+	Values   int64 // float64 values carried by those messages
+}
+
+// World is a communicator universe of Size ranks.
+type World struct {
+	size    int
+	boxes   []*mailbox
+	barrier *barrier
+
+	messages atomic.Int64
+	values   atomic.Int64
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: world size %d must be positive", size))
+	}
+	w := &World{size: size, barrier: newBarrier(size)}
+	w.boxes = make([]*mailbox, size)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Stats returns the cumulative traffic counters.
+func (w *World) Stats() Stats {
+	return Stats{Messages: w.messages.Load(), Values: w.values.Load()}
+}
+
+// Run executes fn once per rank, each on its own goroutine, and blocks
+// until all ranks return. A panic in any rank is re-raised in the caller
+// after the others finish.
+func (w *World) Run(fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+					// Unblock peers stuck in recv/barrier would require
+					// cancellation; panics in well-formed programs are
+					// programming errors, so let remaining ranks be
+					// abandoned if they deadlock — tests run under the
+					// go test timeout.
+					w.barrier.poison()
+				}
+			}()
+			fn(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+		}
+	}
+}
+
+// Comm is one rank's endpoint.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// reserved internal tag space for collectives.
+const (
+	tagBcast  = -1000
+	tagReduce = -2000
+	tagGather = -3000
+)
+
+func (c *Comm) checkRank(r int) {
+	if r < 0 || r >= c.world.size {
+		panic(fmt.Sprintf("mpi: rank %d outside world of size %d", r, c.world.size))
+	}
+}
+
+// Send delivers a copy of data to dst with the given tag. It is eager:
+// the call returns as soon as the message is enqueued. Tags must be
+// non-negative (negative tags are reserved for collectives).
+func (c *Comm) Send(dst, tag int, data []float64) {
+	if tag < 0 {
+		panic("mpi: negative tags are reserved")
+	}
+	c.send(dst, tag, data)
+}
+
+func (c *Comm) send(dst, tag int, data []float64) {
+	c.checkRank(dst)
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	c.world.messages.Add(1)
+	c.world.values.Add(int64(len(data)))
+	c.world.boxes[dst].put(Message{Source: c.rank, Tag: tag, Data: buf})
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. Messages on one (src, tag) stream arrive in send
+// order.
+func (c *Comm) Recv(src, tag int) []float64 {
+	if tag < 0 {
+		panic("mpi: negative tags are reserved")
+	}
+	return c.recv(src, tag)
+}
+
+func (c *Comm) recv(src, tag int) []float64 {
+	c.checkRank(src)
+	return c.world.boxes[c.rank].take(src, tag).Data
+}
+
+// TryRecv is a non-blocking Recv; ok is false when no matching message is
+// queued.
+func (c *Comm) TryRecv(src, tag int) ([]float64, bool) {
+	if tag < 0 {
+		panic("mpi: negative tags are reserved")
+	}
+	c.checkRank(src)
+	m, ok := c.world.boxes[c.rank].tryTake(src, tag)
+	return m.Data, ok
+}
+
+// SendRecv sends to dst and receives from src in one logical step (safe
+// because sends are eager).
+func (c *Comm) SendRecv(dst, sendTag int, data []float64, src, recvTag int) []float64 {
+	c.Send(dst, sendTag, data)
+	return c.Recv(src, recvTag)
+}
+
+// Barrier blocks until all ranks have entered it.
+func (c *Comm) Barrier() { c.world.barrier.await() }
+
+// Bcast distributes root's data to every rank and returns each rank's
+// copy (root returns a copy of its own input).
+func (c *Comm) Bcast(root int, data []float64) []float64 {
+	c.checkRank(root)
+	if c.rank == root {
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				c.send(r, tagBcast, data)
+			}
+		}
+		out := make([]float64, len(data))
+		copy(out, data)
+		return out
+	}
+	return c.recv(root, tagBcast)
+}
+
+// ReduceOp combines two values during reductions.
+type ReduceOp func(a, b float64) float64
+
+// Predefined reduction operators.
+var (
+	OpSum ReduceOp = func(a, b float64) float64 { return a + b }
+	OpMax ReduceOp = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin ReduceOp = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Reduce combines elementwise contributions from all ranks at root; other
+// ranks return nil.
+func (c *Comm) Reduce(root int, op ReduceOp, data []float64) []float64 {
+	c.checkRank(root)
+	if c.rank != root {
+		c.send(root, tagReduce, data)
+		return nil
+	}
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	for r := 0; r < c.world.size; r++ {
+		if r == root {
+			continue
+		}
+		contrib := c.recv(r, tagReduce)
+		if len(contrib) != len(acc) {
+			panic(fmt.Sprintf("mpi: Reduce length mismatch: %d vs %d", len(contrib), len(acc)))
+		}
+		for i, v := range contrib {
+			acc[i] = op(acc[i], v)
+		}
+	}
+	return acc
+}
+
+// Allreduce is Reduce at rank 0 followed by Bcast.
+func (c *Comm) Allreduce(op ReduceOp, data []float64) []float64 {
+	res := c.Reduce(0, op, data)
+	if c.rank != 0 {
+		res = nil
+	}
+	return c.Bcast(0, res)
+}
+
+// Gather collects each rank's slice at root, indexed by rank; other ranks
+// return nil.
+func (c *Comm) Gather(root int, data []float64) [][]float64 {
+	c.checkRank(root)
+	if c.rank != root {
+		c.send(root, tagGather, data)
+		return nil
+	}
+	out := make([][]float64, c.world.size)
+	out[root] = make([]float64, len(data))
+	copy(out[root], data)
+	for r := 0; r < c.world.size; r++ {
+		if r == root {
+			continue
+		}
+		out[r] = c.recv(r, tagGather)
+	}
+	return out
+}
+
+// barrier is a reusable counting barrier with generations.
+type barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	size     int
+	count    int
+	gen      int
+	poisoned bool
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		panic("mpi: barrier poisoned by a peer rank's panic")
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen && !b.poisoned {
+		b.cond.Wait()
+	}
+	if b.poisoned {
+		panic("mpi: barrier poisoned by a peer rank's panic")
+	}
+}
+
+// poison unblocks barrier waiters after a rank dies, so Run can finish and
+// re-raise the original panic.
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// reserved internal tags for the remaining collectives.
+const (
+	tagScatter   = -4000
+	tagAllgather = -5000
+)
+
+// Scatter distributes root's per-rank slices: rank r receives chunks[r].
+// Non-root ranks pass nil chunks.
+func (c *Comm) Scatter(root int, chunks [][]float64) []float64 {
+	c.checkRank(root)
+	if c.rank == root {
+		if len(chunks) != c.world.size {
+			panic(fmt.Sprintf("mpi: Scatter needs %d chunks, got %d", c.world.size, len(chunks)))
+		}
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				c.send(r, tagScatter, chunks[r])
+			}
+		}
+		out := make([]float64, len(chunks[root]))
+		copy(out, chunks[root])
+		return out
+	}
+	return c.recv(root, tagScatter)
+}
+
+// Allgather collects every rank's slice at every rank, indexed by rank.
+// Implemented as Gather at rank 0 followed by a flattened Bcast, which is
+// all the compiled programs need.
+func (c *Comm) Allgather(data []float64) [][]float64 {
+	parts := c.Gather(0, data)
+	var sizes []float64
+	var flat []float64
+	if c.rank == 0 {
+		for _, p := range parts {
+			sizes = append(sizes, float64(len(p)))
+			flat = append(flat, p...)
+		}
+	}
+	sizes = c.Bcast(0, sizes)
+	flat = c.Bcast(0, flat)
+	out := make([][]float64, c.world.size)
+	off := 0
+	for r := range out {
+		n := int(sizes[r])
+		out[r] = make([]float64, n)
+		copy(out[r], flat[off:off+n])
+		off += n
+	}
+	return out
+}
+
+// SendRecvReplace sends buf to dst and overwrites it with the message
+// received from src (both with the given tag).
+func (c *Comm) SendRecvReplace(dst int, buf []float64, src, tag int) {
+	got := c.SendRecv(dst, tag, buf, src, tag)
+	copy(buf, got)
+}

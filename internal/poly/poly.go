@@ -1,0 +1,283 @@
+// Package poly represents convex polyhedra {x ∈ Qⁿ : A·x ≤ b} and computes
+// nested-loop bounds for their integer points via Fourier–Motzkin
+// elimination.
+//
+// This is the machinery behind both levels of the paper's generated code:
+// the n outer loops that enumerate tiles (bounds of the tile space J^S) and
+// the n inner loops that sweep a tile's points, including the boundary-tile
+// clamping "using inequalities describing the original iteration space"
+// (§2.3). Eliminating variables innermost-first yields, for every loop
+// level k, a set of affine lower/upper bounds in the outer variables; a
+// scan that takes max-of-ceilings and min-of-floors enumerates exactly the
+// integer points of the polyhedron.
+package poly
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tilespace/internal/ilin"
+	"tilespace/internal/rat"
+)
+
+// Constraint is a single linear inequality Coef·x ≤ Rhs.
+type Constraint struct {
+	Coef ilin.RatVec
+	Rhs  rat.Rat
+}
+
+// NewConstraint builds Coef·x ≤ Rhs, copying the coefficient vector.
+func NewConstraint(coef ilin.RatVec, rhs rat.Rat) Constraint {
+	return Constraint{Coef: coef.Clone(), Rhs: rhs}
+}
+
+// GE builds the inequality Coef·x ≥ Rhs in ≤ form.
+func GE(coef ilin.RatVec, rhs rat.Rat) Constraint {
+	return Constraint{Coef: coef.Scale(rat.FromInt(-1)), Rhs: rhs.Neg()}
+}
+
+// normalize scales the constraint by a positive rational so the
+// coefficients become integers with gcd 1; direction is preserved. Returns
+// the canonical form used for deduplication.
+func (c Constraint) normalize() Constraint {
+	// lcm of denominators, then gcd of numerators.
+	l := int64(1)
+	for _, x := range c.Coef {
+		l = rat.Lcm64(l, x.Den)
+	}
+	l = rat.Lcm64(l, c.Rhs.Den)
+	if l == 0 {
+		l = 1
+	}
+	g := int64(0)
+	scaled := make(ilin.RatVec, len(c.Coef))
+	for i, x := range c.Coef {
+		scaled[i] = x.MulInt(l)
+		g = rat.Gcd64(g, scaled[i].Num)
+	}
+	rhs := c.Rhs.MulInt(l)
+	if g == 0 {
+		// Trivial constraint 0 ≤ rhs; keep rhs sign only.
+		switch c.Rhs.Sign() {
+		case -1:
+			return Constraint{Coef: scaled, Rhs: rat.FromInt(-1)}
+		default:
+			return Constraint{Coef: scaled, Rhs: rat.Zero}
+		}
+	}
+	for i := range scaled {
+		scaled[i] = rat.New(scaled[i].Num/g, 1)
+	}
+	return Constraint{Coef: scaled, Rhs: rat.New(rhs.Num, rhs.Den*g)}
+}
+
+// isTrivial reports whether the constraint has all-zero coefficients;
+// feasible indicates whether it is then satisfiable.
+func (c Constraint) isTrivial() (trivial, feasible bool) {
+	if !c.Coef.IsZero() {
+		return false, true
+	}
+	return true, c.Rhs.Sign() >= 0
+}
+
+// Eval returns Coef·x - Rhs ≤ 0 residual sign: negative or zero means x
+// satisfies the constraint.
+func (c Constraint) Eval(x ilin.RatVec) rat.Rat {
+	return c.Coef.Dot(x).Sub(c.Rhs)
+}
+
+// SatisfiedBy reports whether the integer point x satisfies the constraint.
+func (c Constraint) SatisfiedBy(x ilin.Vec) bool {
+	return c.Eval(x.Rat()).Sign() <= 0
+}
+
+func (c Constraint) String() string {
+	var b strings.Builder
+	first := true
+	for i, x := range c.Coef {
+		if x.IsZero() {
+			continue
+		}
+		if !first {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%v·x%d", x, i)
+		first = false
+	}
+	if first {
+		b.WriteString("0")
+	}
+	fmt.Fprintf(&b, " ≤ %v", c.Rhs)
+	return b.String()
+}
+
+// System is a conjunction of linear inequalities over NVars variables.
+type System struct {
+	NVars int
+	Cons  []Constraint
+}
+
+// NewSystem returns an empty system over n variables.
+func NewSystem(n int) *System { return &System{NVars: n} }
+
+// FromIneqs builds the system A·x ≤ b from an integer matrix and vector.
+func FromIneqs(a *ilin.Mat, b ilin.Vec) *System {
+	if a.Rows != len(b) {
+		panic("poly: FromIneqs shape mismatch")
+	}
+	s := NewSystem(a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		s.Add(NewConstraint(a.Row(i).Rat(), rat.FromInt(b[i])))
+	}
+	return s
+}
+
+// Add appends a constraint; the coefficient length must match NVars.
+func (s *System) Add(c Constraint) {
+	if len(c.Coef) != s.NVars {
+		panic(fmt.Sprintf("poly: constraint arity %d != system arity %d", len(c.Coef), s.NVars))
+	}
+	s.Cons = append(s.Cons, c)
+}
+
+// AddRange adds lo ≤ x_k ≤ hi.
+func (s *System) AddRange(k int, lo, hi int64) {
+	cl := make(ilin.RatVec, s.NVars)
+	for i := range cl {
+		cl[i] = rat.Zero
+	}
+	cu := cl.Clone()
+	cl[k] = rat.FromInt(-1)
+	cu[k] = rat.One
+	s.Add(Constraint{Coef: cl, Rhs: rat.FromInt(-lo)})
+	s.Add(Constraint{Coef: cu, Rhs: rat.FromInt(hi)})
+}
+
+// Clone returns a deep copy.
+func (s *System) Clone() *System {
+	out := NewSystem(s.NVars)
+	out.Cons = make([]Constraint, len(s.Cons))
+	for i, c := range s.Cons {
+		out.Cons[i] = Constraint{Coef: c.Coef.Clone(), Rhs: c.Rhs}
+	}
+	return out
+}
+
+// Contains reports whether the integer point x satisfies every constraint.
+func (s *System) Contains(x ilin.Vec) bool {
+	for _, c := range s.Cons {
+		if !c.SatisfiedBy(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// simplify normalizes all constraints, removes duplicates, keeps only the
+// tightest rhs per coefficient vector, and detects trivially infeasible
+// rows. It returns false if the system is certainly infeasible.
+func (s *System) simplify() bool {
+	type key string
+	best := map[key]Constraint{}
+	order := []key{}
+	for _, c := range s.Cons {
+		n := c.normalize()
+		if triv, feas := n.isTrivial(); triv {
+			if !feas {
+				return false
+			}
+			continue
+		}
+		k := key(n.Coef.String())
+		if prev, ok := best[k]; ok {
+			if n.Rhs.Cmp(prev.Rhs) < 0 {
+				best[k] = n
+			}
+		} else {
+			best[k] = n
+			order = append(order, k)
+		}
+	}
+	// Detect direct contradictions c·x ≤ r1 and -c·x ≤ r2 with r1+r2 < 0.
+	for _, k := range order {
+		c := best[k]
+		nk := key(c.Coef.Scale(rat.FromInt(-1)).String())
+		if opp, ok := best[nk]; ok {
+			if c.Rhs.Add(opp.Rhs).Sign() < 0 {
+				return false
+			}
+		}
+	}
+	s.Cons = s.Cons[:0]
+	for _, k := range order {
+		s.Cons = append(s.Cons, best[k])
+	}
+	return true
+}
+
+// Eliminate removes variable k by Fourier–Motzkin combination, returning a
+// new system over the same variable indexing where x_k no longer appears.
+// The projection is exact over the rationals. The boolean result is false
+// if the system was detected infeasible during simplification.
+func (s *System) Eliminate(k int) (*System, bool) {
+	var pos, neg, zero []Constraint
+	for _, c := range s.Cons {
+		switch c.Coef[k].Sign() {
+		case 1:
+			pos = append(pos, c)
+		case -1:
+			neg = append(neg, c)
+		default:
+			zero = append(zero, c)
+		}
+	}
+	out := NewSystem(s.NVars)
+	out.Cons = append(out.Cons, zero...)
+	for _, p := range pos {
+		for _, n := range neg {
+			// p: a·x + α·x_k ≤ r1 (α>0) → x_k ≤ (r1 - a·x)/α
+			// n: b·x - β·x_k ≤ r2 (β>0) → x_k ≥ (b·x - r2)/β
+			// combine: β·(a·x) + α·(b·x) ≤ β·r1 + α·r2
+			alpha := p.Coef[k]
+			beta := n.Coef[k].Neg()
+			coef := p.Coef.Scale(beta).Add(n.Coef.Scale(alpha))
+			coef[k] = rat.Zero
+			rhs := p.Rhs.Mul(beta).Add(n.Rhs.Mul(alpha))
+			out.Cons = append(out.Cons, Constraint{Coef: coef, Rhs: rhs})
+		}
+	}
+	ok := out.simplify()
+	return out, ok
+}
+
+// IsEmptyRational reports whether the rational relaxation of the system is
+// empty, by eliminating every variable and checking for contradictions.
+func (s *System) IsEmptyRational() bool {
+	cur := s.Clone()
+	if !cur.simplify() {
+		return true
+	}
+	for k := s.NVars - 1; k >= 0; k-- {
+		next, ok := cur.Eliminate(k)
+		if !ok {
+			return true
+		}
+		cur = next
+	}
+	for _, c := range cur.Cons {
+		if triv, feas := c.isTrivial(); triv && !feas {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *System) String() string {
+	parts := make([]string, len(s.Cons))
+	for i, c := range s.Cons {
+		parts[i] = c.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\n")
+}

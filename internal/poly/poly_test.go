@@ -1,0 +1,373 @@
+package poly
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tilespace/internal/ilin"
+	"tilespace/internal/rat"
+)
+
+func box2(lo1, hi1, lo2, hi2 int64) *System {
+	s := NewSystem(2)
+	s.AddRange(0, lo1, hi1)
+	s.AddRange(1, lo2, hi2)
+	return s
+}
+
+func TestContains(t *testing.T) {
+	s := box2(0, 3, 1, 2)
+	if !s.Contains(ilin.NewVec(0, 1)) || !s.Contains(ilin.NewVec(3, 2)) {
+		t.Error("corner points should be contained")
+	}
+	if s.Contains(ilin.NewVec(4, 1)) || s.Contains(ilin.NewVec(0, 0)) {
+		t.Error("outside points should not be contained")
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// x0 ≥ 2 over one variable.
+	c := GE(ilin.RatVec{rat.One}, rat.FromInt(2))
+	if !c.SatisfiedBy(ilin.NewVec(2)) || !c.SatisfiedBy(ilin.NewVec(5)) {
+		t.Error("GE should hold at/above the bound")
+	}
+	if c.SatisfiedBy(ilin.NewVec(1)) {
+		t.Error("GE should fail below the bound")
+	}
+}
+
+func TestLoopBoundsBox(t *testing.T) {
+	nb, err := LoopBounds(box2(0, 3, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nb.Count(); got != 4*2 {
+		t.Errorf("Count = %d, want 8", got)
+	}
+	lo, _ := nb.Vars[0].EvalLower(nil)
+	hi, _ := nb.Vars[0].EvalUpper(nil)
+	if lo != 0 || hi != 3 {
+		t.Errorf("outer bounds = [%d, %d]", lo, hi)
+	}
+}
+
+// Triangle {x ≥ 0, y ≥ 0, x + y ≤ 3} has 10 integer points.
+func TestLoopBoundsTriangle(t *testing.T) {
+	s := NewSystem(2)
+	s.Add(GE(ilin.RatVec{rat.One, rat.Zero}, rat.Zero))
+	s.Add(GE(ilin.RatVec{rat.Zero, rat.One}, rat.Zero))
+	s.Add(NewConstraint(ilin.RatVec{rat.One, rat.One}, rat.FromInt(3)))
+	nb, err := LoopBounds(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nb.Count(); got != 10 {
+		t.Errorf("Count = %d, want 10", got)
+	}
+	// Inner bound must depend on the outer variable: y ≤ 3 - x.
+	hi, _ := nb.Vars[1].EvalUpper([]int64{2})
+	if hi != 1 {
+		t.Errorf("y upper at x=2 is %d, want 1", hi)
+	}
+}
+
+// Skewed parallelogram {0 ≤ x ≤ 4, x ≤ y ≤ x + 2}: 5 columns of 3.
+func TestLoopBoundsSkewed(t *testing.T) {
+	s := NewSystem(2)
+	s.AddRange(0, 0, 4)
+	s.Add(GE(ilin.RatVec{rat.FromInt(-1), rat.One}, rat.Zero)) // y - x ≥ 0
+	s.Add(NewConstraint(ilin.RatVec{rat.FromInt(-1), rat.One}, rat.FromInt(2)))
+	nb, err := LoopBounds(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nb.Count(); got != 15 {
+		t.Errorf("Count = %d, want 15", got)
+	}
+	lo, _ := nb.Vars[1].EvalLower([]int64{3})
+	hi, _ := nb.Vars[1].EvalUpper([]int64{3})
+	if lo != 3 || hi != 5 {
+		t.Errorf("inner bounds at x=3 = [%d, %d], want [3, 5]", lo, hi)
+	}
+}
+
+// Rational-coefficient bounds: {0 ≤ x ≤ 5, x/2 ≤ y ≤ x/2 + 1/2} exercises
+// ceilings and floors of non-integer affine bounds.
+func TestLoopBoundsRationalCoefficients(t *testing.T) {
+	s := NewSystem(2)
+	s.AddRange(0, 0, 5)
+	half := rat.New(1, 2)
+	s.Add(GE(ilin.RatVec{half.Neg(), rat.One}, rat.Zero))        // y ≥ x/2
+	s.Add(NewConstraint(ilin.RatVec{half.Neg(), rat.One}, half)) // y ≤ x/2 + 1/2
+	nb, err := LoopBounds(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x even → single y = x/2; x odd → y ∈ {⌈x/2⌉} = {(x+1)/2} (one point).
+	if got := nb.Count(); got != 6 {
+		t.Errorf("Count = %d, want 6", got)
+	}
+}
+
+func TestEmptySystems(t *testing.T) {
+	s := NewSystem(1)
+	s.AddRange(0, 3, 1) // 3 ≤ x ≤ 1: empty
+	if !s.IsEmptyRational() {
+		t.Error("3 ≤ x ≤ 1 should be empty")
+	}
+	if _, err := LoopBounds(s); err == nil {
+		t.Error("LoopBounds should fail on empty system")
+	}
+
+	s2 := NewSystem(2)
+	s2.AddRange(0, 0, 10)
+	s2.AddRange(1, 0, 10)
+	s2.Add(NewConstraint(ilin.RatVec{rat.One, rat.One}, rat.FromInt(-1))) // x+y ≤ -1
+	if !s2.IsEmptyRational() {
+		t.Error("x+y ≤ -1 in positive box should be empty")
+	}
+}
+
+func TestUnboundedDetected(t *testing.T) {
+	s := NewSystem(1)
+	s.Add(GE(ilin.RatVec{rat.One}, rat.Zero)) // x ≥ 0 only
+	if _, err := LoopBounds(s); err == nil {
+		t.Error("LoopBounds should fail for unbounded variable")
+	}
+}
+
+func TestEliminateProjection(t *testing.T) {
+	// Project the triangle x+y ≤ 3, x,y ≥ 0 onto x: expect 0 ≤ x ≤ 3.
+	s := NewSystem(2)
+	s.Add(GE(ilin.RatVec{rat.One, rat.Zero}, rat.Zero))
+	s.Add(GE(ilin.RatVec{rat.Zero, rat.One}, rat.Zero))
+	s.Add(NewConstraint(ilin.RatVec{rat.One, rat.One}, rat.FromInt(3)))
+	proj, ok := s.Eliminate(1)
+	if !ok {
+		t.Fatal("projection infeasible")
+	}
+	if !proj.Contains(ilin.NewVec(0, 99)) || !proj.Contains(ilin.NewVec(3, -50)) {
+		t.Error("projection should admit 0 ≤ x ≤ 3 regardless of y")
+	}
+	if proj.Contains(ilin.NewVec(4, 0)) || proj.Contains(ilin.NewVec(-1, 0)) {
+		t.Error("projection should reject x outside [0,3]")
+	}
+}
+
+func TestFromIneqs(t *testing.T) {
+	// -x ≤ 0, x ≤ 2 → x ∈ [0,2].
+	a := ilin.MatFromRows([]int64{-1}, []int64{1})
+	s := FromIneqs(a, ilin.NewVec(0, 2))
+	nb, err := LoopBounds(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Count() != 3 {
+		t.Errorf("Count = %d, want 3", nb.Count())
+	}
+}
+
+func TestSimplifyKeepsTightest(t *testing.T) {
+	s := NewSystem(1)
+	s.Add(NewConstraint(ilin.RatVec{rat.One}, rat.FromInt(10)))
+	s.Add(NewConstraint(ilin.RatVec{rat.FromInt(2)}, rat.FromInt(8))) // x ≤ 4, tighter
+	s.Add(GE(ilin.RatVec{rat.One}, rat.Zero))
+	nb, err := LoopBounds(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, _ := nb.Vars[0].EvalUpper(nil)
+	if hi != 4 {
+		t.Errorf("upper = %d, want 4", hi)
+	}
+}
+
+func TestAffineEvalString(t *testing.T) {
+	a := Affine{Coef: ilin.RatVec{rat.New(1, 2), rat.Zero}, Const: rat.FromInt(3)}
+	if got := a.Eval([]int64{4, 7}); !got.Equal(rat.FromInt(5)) {
+		t.Errorf("Eval = %v", got)
+	}
+	if a.String() == "" || (Affine{Coef: ilin.RatVec{}, Const: rat.Zero}).String() != "0" {
+		t.Error("String rendering")
+	}
+}
+
+// Property: Scan visits exactly the integer points x of the box that
+// satisfy a random extra half-space, matching brute force.
+func TestQuickScanMatchesBruteForce(t *testing.T) {
+	f := func(a1, a2 int8, rhs int8) bool {
+		s := box2(-3, 3, -3, 3)
+		coef := ilin.RatVec{rat.FromInt(int64(a1 % 4)), rat.FromInt(int64(a2 % 4))}
+		s.Add(NewConstraint(coef, rat.FromInt(int64(rhs%8))))
+
+		want := map[[2]int64]bool{}
+		for x := int64(-3); x <= 3; x++ {
+			for y := int64(-3); y <= 3; y++ {
+				if s.Contains(ilin.NewVec(x, y)) {
+					want[[2]int64{x, y}] = true
+				}
+			}
+		}
+		nb, err := LoopBounds(s)
+		if err != nil {
+			return len(want) == 0
+		}
+		got := map[[2]int64]bool{}
+		nb.Scan(func(p ilin.Vec) bool {
+			got[[2]int64{p[0], p[1]}] = true
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: projection soundness — if (x, y) is in the system, x is in the
+// eliminated system.
+func TestQuickEliminateSound(t *testing.T) {
+	f := func(a1, a2, rhs, px, py int8) bool {
+		s := box2(-4, 4, -4, 4)
+		coef := ilin.RatVec{rat.FromInt(int64(a1 % 3)), rat.FromInt(int64(a2 % 3))}
+		s.Add(NewConstraint(coef, rat.FromInt(int64(rhs%6))))
+		p := ilin.NewVec(int64(px%5), int64(py%5))
+		if !s.Contains(p) {
+			return true
+		}
+		proj, ok := s.Eliminate(1)
+		if !ok {
+			return false
+		}
+		return proj.Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	nb, err := LoopBounds(box2(0, 9, 0, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	nb.Scan(func(ilin.Vec) bool {
+		seen++
+		return seen < 5
+	})
+	if seen != 5 {
+		t.Errorf("early stop visited %d points", seen)
+	}
+	if !nb.HasIntPoint() {
+		t.Error("box should have integer points")
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	s := box2(0, 1, 0, 1)
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+	if (&Constraint{Coef: ilin.RatVec{rat.Zero}, Rhs: rat.Zero}).String() != "0 ≤ 0" {
+		t.Error("trivial constraint String")
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	// Triangle x,y ≥ 0, x + y ≤ 5: box [0,5]×[0,5].
+	s := NewSystem(2)
+	s.Add(GE(ilin.RatVec{rat.One, rat.Zero}, rat.Zero))
+	s.Add(GE(ilin.RatVec{rat.Zero, rat.One}, rat.Zero))
+	s.Add(NewConstraint(ilin.RatVec{rat.One, rat.One}, rat.FromInt(5)))
+	lo, hi, err := BoundingBox(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lo.Equal(ilin.NewVec(0, 0)) || !hi.Equal(ilin.NewVec(5, 5)) {
+		t.Errorf("box = %v .. %v", lo, hi)
+	}
+	// Empty system.
+	e := NewSystem(1)
+	e.AddRange(0, 3, 1)
+	if _, _, err := BoundingBox(e); err == nil {
+		t.Error("empty system box should fail")
+	}
+	// Unbounded system.
+	u := NewSystem(1)
+	u.Add(GE(ilin.RatVec{rat.One}, rat.Zero))
+	if _, _, err := BoundingBox(u); err == nil {
+		t.Error("unbounded box should fail")
+	}
+	// Contradiction found only after eliminating the other variable:
+	// x ≥ 0, x ≤ 3, y - x ≥ 10, y + x ≤ 2.
+	c := NewSystem(2)
+	c.AddRange(0, 0, 3)
+	c.Add(GE(ilin.RatVec{rat.FromInt(-1), rat.One}, rat.FromInt(10)))
+	c.Add(NewConstraint(ilin.RatVec{rat.One, rat.One}, rat.FromInt(2)))
+	if _, _, err := BoundingBox(c); err == nil {
+		t.Error("inconsistent system box should fail")
+	}
+}
+
+func TestNestBoundsString(t *testing.T) {
+	nb, err := LoopBounds(box2(0, 2, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := nb.String(); s == "" || !strings.Contains(s, "x0") {
+		t.Errorf("NestBounds String = %q", s)
+	}
+}
+
+func TestAddArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch should panic")
+		}
+	}()
+	s := NewSystem(2)
+	s.Add(NewConstraint(ilin.RatVec{rat.One}, rat.Zero))
+}
+
+func TestIsEmptyRationalMore(t *testing.T) {
+	// Feasible full-dimensional system.
+	s := box2(0, 3, 0, 3)
+	if s.IsEmptyRational() {
+		t.Error("box should be non-empty")
+	}
+	// Direct contradiction on identical coefficient vectors: x ≤ 1, x ≥ 3.
+	c := NewSystem(1)
+	c.Add(NewConstraint(ilin.RatVec{rat.One}, rat.One))
+	c.Add(GE(ilin.RatVec{rat.One}, rat.FromInt(3)))
+	if !c.IsEmptyRational() {
+		t.Error("x ≤ 1 ∧ x ≥ 3 should be empty")
+	}
+	// Trivial infeasible constant row: 0 ≤ -1.
+	z := NewSystem(1)
+	z.AddRange(0, 0, 1)
+	z.Add(NewConstraint(ilin.RatVec{rat.Zero}, rat.FromInt(-1)))
+	if !z.IsEmptyRational() {
+		t.Error("0 ≤ -1 should be empty")
+	}
+	// Rational point but no integer point: 1/3 ≤ x ≤ 2/3 — rationally
+	// non-empty (integer emptiness is the scanner's job).
+	r := NewSystem(1)
+	r.Add(GE(ilin.RatVec{rat.FromInt(3)}, rat.One))
+	r.Add(NewConstraint(ilin.RatVec{rat.FromInt(3)}, rat.FromInt(2)))
+	if r.IsEmptyRational() {
+		t.Error("1/3 ≤ x ≤ 2/3 is rationally non-empty")
+	}
+	if nb, err := LoopBounds(r); err == nil && nb.HasIntPoint() {
+		t.Error("1/3 ≤ x ≤ 2/3 has no integer point")
+	}
+}

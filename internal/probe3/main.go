@@ -1,0 +1,45 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"tilespace/internal/ilin"
+	"tilespace/internal/loopnest"
+	"tilespace/internal/poly"
+	"tilespace/internal/rat"
+	"tilespace/internal/tiling"
+)
+
+func main() {
+	p := ilin.MatFromRows([]int64{0, -2, 2}, []int64{-1, -1, -2}, []int64{2, -1, -1})
+	tr, err := tiling.FromP(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tr)
+	s := poly.NewSystem(3)
+	for k := 0; k < 3; k++ {
+		s.AddRange(k, 0, 7)
+	}
+	s.Add(poly.Constraint{Coef: ilin.RatVec{rat.One, rat.One, rat.One}, Rhs: rat.FromInt(11)})
+	nest, _ := loopnest.New(nil, s, nil)
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(5 * time.Second):
+				fmt.Println("still analyzing after", time.Since(start))
+			}
+		}
+	}()
+	ts, err := tiling.Analyze(nest, tr.H)
+	close(done)
+	fmt.Println("analyze took", time.Since(start), "err", err)
+	if ts != nil {
+		fmt.Println("numtiles", ts.NumTiles())
+	}
+}

@@ -1,0 +1,222 @@
+// Package schedule implements the paper's analytic scheduling model: the
+// linear time schedule Π = [1, …, 1] over the tile space, the schedule
+// length Π·(⌊H·j_max⌋ − ⌊H·j_min⌋) + 1 that §4 uses to predict the
+// advantage of cone-derived tile shapes (t_nr = t_r − M/z for SOR, etc.),
+// and the Hodzic–Shang-style per-step completion-time estimate
+//
+//	T ≈ steps × (t_tile + t_comm)
+//
+// that the discrete-event simulator refines. Having the closed-form model
+// in code lets tests confirm the paper's §4.1–4.3 algebra against the
+// actual tile spaces, and quantifies how close the simple model tracks the
+// simulation.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"tilespace/internal/distrib"
+	"tilespace/internal/ilin"
+	"tilespace/internal/simnet"
+	"tilespace/internal/tiling"
+)
+
+// Linear is the linear schedule Π over the tile space: tile j^S executes
+// at step Π·j^S (shifted so the first step is 0).
+type Linear struct {
+	Pi ilin.Vec
+}
+
+// Uniform returns the paper's Π = [1, 1, …, 1].
+func Uniform(n int) Linear {
+	pi := make(ilin.Vec, n)
+	for i := range pi {
+		pi[i] = 1
+	}
+	return Linear{Pi: pi}
+}
+
+// Valid reports whether the schedule respects every tile dependence:
+// Π·d^S > 0 for all d^S (strict, so dependent tiles land on later steps).
+func (l Linear) Valid(ts *tiling.TiledSpace) bool {
+	for _, dS := range ts.DS {
+		if l.Pi.Dot(dS) <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Step returns the (unshifted) schedule step of a tile.
+func (l Linear) Step(jS ilin.Vec) int64 { return l.Pi.Dot(jS) }
+
+// Length returns the number of schedule steps over all valid tiles:
+// max Π·j^S − min Π·j^S + 1. This is the quantity the paper computes as
+// Π·⌊H·j_max⌋ − Π·⌊H·j_min⌋ + 1.
+func (l Linear) Length(ts *tiling.TiledSpace) int64 {
+	first := true
+	var lo, hi int64
+	ts.ScanTiles(func(jS ilin.Vec) bool {
+		s := l.Step(jS)
+		if first {
+			lo, hi = s, s
+			first = false
+		} else {
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		return true
+	})
+	if first {
+		return 0
+	}
+	return hi - lo + 1
+}
+
+// LengthFromExtremes evaluates the paper's closed form using only the last
+// and first iteration points: Π·⌊H·j_max⌋ − Π·⌊H·j_min⌋ + 1 — the §4
+// quantity behind t_r and t_nr. For skewed tilings this is *not* the
+// global wavefront range (some tiles have larger Π·j^S than j_max's tile);
+// it is the completion step of the pipelined execution, which
+// PipelinedLength computes exactly from the tile graph.
+func LengthFromExtremes(t *tiling.Transform, jMin, jMax ilin.Vec, pi Linear) int64 {
+	return pi.Step(t.TileOf(jMax)) - pi.Step(t.TileOf(jMin)) + 1
+}
+
+// PipelinedLength is the unit-execution-time makespan of the §3.1
+// execution model (the UET-UCT abstraction of [3]): every tile costs one
+// step, a tile starts after all its D^S predecessors, and each processor
+// executes its chain sequentially. This is the step count the paper's
+// t_r/t_nr algebra predicts: skewing H moves mesh-serializing tile
+// dependencies outside the valid tile space, so downstream processors
+// start earlier and the pipeline fill shrinks — the entire §4 effect.
+func PipelinedLength(d *distrib.Distribution) int64 {
+	ts := d.TS
+	type ref struct {
+		rank int
+		t    int64
+		wave int64
+	}
+	var tiles []ref
+	for r := 0; r < d.NumProcs(); r++ {
+		for t := int64(0); t < d.ChainLen[r]; t++ {
+			jS := d.TileAt(r, t)
+			var w int64
+			for _, x := range jS {
+				w += x
+			}
+			tiles = append(tiles, ref{r, t, w})
+		}
+	}
+	sort.Slice(tiles, func(i, j int) bool {
+		if tiles[i].wave != tiles[j].wave {
+			return tiles[i].wave < tiles[j].wave
+		}
+		if tiles[i].rank != tiles[j].rank {
+			return tiles[i].rank < tiles[j].rank
+		}
+		return tiles[i].t < tiles[j].t
+	})
+	finish := map[string]int64{} // tile -> completion step (1-based)
+	procFree := make([]int64, d.NumProcs())
+	var makespan int64
+	for _, tr := range tiles {
+		tile := d.TileAt(tr.rank, tr.t)
+		start := procFree[tr.rank]
+		for _, dS := range ts.DS {
+			pred := tile.Sub(dS)
+			if !ts.ValidTile(pred) {
+				continue
+			}
+			if f := finish[pred.String()]; f > start {
+				start = f
+			}
+		}
+		end := start + 1
+		finish[tile.String()] = end
+		procFree[tr.rank] = end
+		if end > makespan {
+			makespan = end
+		}
+	}
+	return makespan
+}
+
+// CostModel is the per-step analytic estimate of Hodzic–Shang [9]: every
+// schedule step costs one full tile of computation plus the tile's
+// communication, and the pipeline executes Length steps.
+type CostModel struct {
+	// Params is the same cluster cost model the simulator uses.
+	Params simnet.Params
+}
+
+// Estimate is the closed-form completion-time prediction.
+type Estimate struct {
+	Steps    int64
+	TileComp float64 // seconds of computation per full tile
+	TileComm float64 // seconds of communication per tile (all directions)
+	StepTime float64 // TileComp + TileComm
+	Total    float64 // Steps × StepTime
+	SeqTime  float64
+	Speedup  float64
+}
+
+// Predict evaluates the model for a distribution. It uses full-tile
+// communication volumes (interior steady state); boundary effects are what
+// the simulator adds on top.
+func (cm CostModel) Predict(d *distrib.Distribution) (*Estimate, error) {
+	if err := cm.Params.Validate(); err != nil {
+		return nil, err
+	}
+	ts := d.TS
+	pi := Uniform(ts.T.N)
+	if !pi.Valid(ts) {
+		return nil, fmt.Errorf("schedule: Π = [1…1] violates a tile dependence")
+	}
+	est := &Estimate{Steps: PipelinedLength(d)}
+	est.TileComp = float64(ts.T.TileSize) * cm.Params.IterTime
+	for _, dm := range d.DM {
+		n := d.FullTileCommCount(dm)
+		if n == 0 {
+			continue
+		}
+		values := float64(n * int64(cm.Params.Width))
+		bytes := values * float64(cm.Params.ValueBytes)
+		est.TileComm += cm.Params.SendOverhead + cm.Params.RecvOverhead +
+			2*values*cm.Params.PackTime + bytes/cm.Params.Bandwidth
+	}
+	est.StepTime = est.TileComp + est.TileComm
+	est.Total = float64(est.Steps) * est.StepTime
+	var points int64
+	ts.ScanTiles(func(jS ilin.Vec) bool {
+		points += ts.CountTilePoints(jS, nil)
+		return true
+	})
+	est.SeqTime = float64(points) * cm.Params.IterTime
+	if est.Total > 0 {
+		est.Speedup = est.SeqTime / est.Total
+	}
+	return est, nil
+}
+
+// Compare runs both the closed-form model and the simulator and returns
+// the ratio of predicted to simulated makespan (1.0 = perfect agreement).
+func (cm CostModel) Compare(d *distrib.Distribution) (est *Estimate, sim *simnet.Result, ratio float64, err error) {
+	est, err = cm.Predict(d)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	sim, err = simnet.Simulate(d, cm.Params)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if sim.Makespan > 0 {
+		ratio = est.Total / sim.Makespan
+	}
+	return est, sim, ratio, nil
+}

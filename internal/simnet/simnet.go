@@ -1,0 +1,320 @@
+// Package simnet is a discrete-event simulator for executing a compiled
+// tile schedule on a model cluster: per-node compute rates and an
+// α + size/β network cost, calibrated by default to the paper's testbed
+// (16 Pentium-III/500 nodes on switched FastEthernet, MPI over TCP).
+//
+// The simulator runs the exact §3.2 protocol the real executor runs — one
+// message per (predecessor tile, processor direction) delivered at the
+// minsucc tile, pack regions j'_k ≥ cc_k — but advances virtual clocks
+// instead of touching data. Because every figure in the paper's evaluation
+// is a speedup measurement whose shape is governed by the schedule length
+// Π·⌊H·j_max⌋ and the per-step compute/communication costs, the simulator
+// reproduces the rectangular-vs-non-rectangular comparisons without the
+// authors' hardware.
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tilespace/internal/distrib"
+	"tilespace/internal/ilin"
+)
+
+// Params is the cluster cost model.
+type Params struct {
+	// IterTime is the seconds of CPU per iteration point (per lattice
+	// point of the nest, independent of Width — kernels stream all their
+	// arrays in one pass).
+	IterTime float64
+	// ValueBytes is the wire size of one value (8 for float64).
+	ValueBytes int
+	// Width is the number of values per iteration point (ADI carries 2).
+	Width int
+	// Latency is the one-way network latency per message (α).
+	Latency float64
+	// Bandwidth is the sustained network bandwidth in bytes/second (β).
+	Bandwidth float64
+	// SendOverhead/RecvOverhead are per-message CPU costs (MPI stack,
+	// system calls).
+	SendOverhead float64
+	RecvOverhead float64
+	// PackTime is the CPU cost per value for packing or unpacking.
+	PackTime float64
+	// Overlap enables the computation–communication overlapping scheme of
+	// the paper's future-work reference [8]: the sender's CPU only pays
+	// SendOverhead and the transfer itself proceeds on the NIC in the
+	// background.
+	Overlap bool
+}
+
+// FastEthernetPIII returns the cost model of the paper's testbed: 500 MHz
+// Pentium III nodes (≈100 ns per stencil iteration at -O2) on switched
+// FastEthernet with TCP MPI (≈70 µs one-way latency, ≈11 MB/s sustained).
+func FastEthernetPIII() Params {
+	return Params{
+		IterTime:     100e-9,
+		ValueBytes:   8,
+		Width:        1,
+		Latency:      70e-6,
+		Bandwidth:    11e6,
+		SendOverhead: 30e-6,
+		RecvOverhead: 30e-6,
+		PackTime:     20e-9,
+	}
+}
+
+// Validate checks the parameters for usability.
+func (p Params) Validate() error {
+	if p.IterTime <= 0 || p.Bandwidth <= 0 || p.ValueBytes <= 0 || p.Width <= 0 {
+		return fmt.Errorf("simnet: IterTime, Bandwidth, ValueBytes and Width must be positive")
+	}
+	if p.Latency < 0 || p.SendOverhead < 0 || p.RecvOverhead < 0 || p.PackTime < 0 {
+		return fmt.Errorf("simnet: negative cost parameter")
+	}
+	return nil
+}
+
+// Result reports one simulated execution.
+type Result struct {
+	Makespan float64 // parallel completion time (seconds)
+	SeqTime  float64 // Points × IterTime: the single-node baseline
+	Speedup  float64 // SeqTime / Makespan
+
+	Procs     int
+	Tiles     int64
+	Points    int64
+	Messages  int64
+	BytesSent int64
+
+	// Steps is the linear-schedule length Π·(j^S_max − j^S_min) + 1 — the
+	// quantity the paper's t_r/t_nr analysis predicts; non-rectangular
+	// cone tilings shorten it.
+	Steps int64
+	// Utilization is total busy CPU time over Procs × Makespan.
+	Utilization float64
+}
+
+type msgKey struct {
+	tile string
+	dm   string
+}
+
+// Simulate runs the tile schedule of a distribution under the cost model
+// and returns the timing result.
+func Simulate(d *distrib.Distribution, par Params) (*Result, error) {
+	return simulate(d, par, nil)
+}
+
+// simulate is the engine; onEvent, when non-nil, receives one Event per
+// tile (used by SimulateTraced).
+func simulate(d *distrib.Distribution, par Params, onEvent func(Event)) (*Result, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	type tileRef struct {
+		rank int
+		t    int64
+		wave int64
+	}
+	var tiles []tileRef
+	for r := 0; r < d.NumProcs(); r++ {
+		for t := int64(0); t < d.ChainLen[r]; t++ {
+			jS := d.TileAt(r, t)
+			var wave int64
+			for _, x := range jS {
+				wave += x
+			}
+			tiles = append(tiles, tileRef{rank: r, t: t, wave: wave})
+		}
+	}
+	// Π = [1…1] wavefront order is topological for D^S ≥ 0, and it keeps
+	// each chain in order (chain tiles differ in j^S_m only).
+	sort.Slice(tiles, func(i, j int) bool {
+		if tiles[i].wave != tiles[j].wave {
+			return tiles[i].wave < tiles[j].wave
+		}
+		if tiles[i].rank != tiles[j].rank {
+			return tiles[i].rank < tiles[j].rank
+		}
+		return tiles[i].t < tiles[j].t
+	})
+
+	res := &Result{Procs: d.NumProcs(), Tiles: int64(len(tiles))}
+	procClock := make([]float64, d.NumProcs())
+	nicFree := make([]float64, d.NumProcs())
+	busy := make([]float64, d.NumProcs())
+	arrivals := map[msgKey]float64{}
+
+	counts := newCountCache(d)
+	minWave, maxWave := int64(math.MaxInt64), int64(math.MinInt64)
+
+	for _, tr := range tiles {
+		if tr.wave < minWave {
+			minWave = tr.wave
+		}
+		if tr.wave > maxWave {
+			maxWave = tr.wave
+		}
+		tile := d.TileAt(tr.rank, tr.t)
+		now := procClock[tr.rank]
+		ev := Event{Rank: tr.rank, Tile: tile.String(), Start: now}
+
+		// RECEIVE: wait for each due message, then pay unpack CPU.
+		for _, dS := range d.TS.DS {
+			dm := d.DmOf(dS)
+			if dm.IsZero() {
+				continue
+			}
+			pred := tile.Sub(dS)
+			if !d.TS.ValidTile(pred) {
+				continue
+			}
+			if ms, ok := d.MinSucc(pred, dm); !ok || !ms.Equal(tile) {
+				continue
+			}
+			n := counts.region(pred, dm)
+			if n == 0 {
+				continue
+			}
+			key := msgKey{pred.String(), dm.String()}
+			arr, ok := arrivals[key]
+			if !ok {
+				return nil, fmt.Errorf("simnet: message for tile %v from %v not yet sent — schedule order broken", tile, pred)
+			}
+			delete(arrivals, key)
+			if arr > now {
+				ev.Waited += arr - now
+				now = arr // idle wait: not busy time
+			}
+			cpu := par.RecvOverhead + float64(n*int64(par.Width))*par.PackTime
+			now += cpu
+			busy[tr.rank] += cpu
+		}
+
+		ev.RecvDone = now
+
+		// COMPUTE.
+		pts := counts.points(tile)
+		res.Points += pts
+		comp := float64(pts) * par.IterTime
+		now += comp
+		busy[tr.rank] += comp
+		ev.CompDone = now
+
+		// SEND: one message per processor direction with a valid successor.
+		for _, dm := range d.DM {
+			if !d.HasSuccessor(tile, dm) {
+				continue
+			}
+			n := counts.region(tile, dm)
+			if n == 0 {
+				continue
+			}
+			bytes := float64(n*int64(par.Width)) * float64(par.ValueBytes)
+			pack := float64(n*int64(par.Width)) * par.PackTime
+			var arrive float64
+			if par.Overlap {
+				cpu := pack + par.SendOverhead
+				now += cpu
+				busy[tr.rank] += cpu
+				start := math.Max(nicFree[tr.rank], now)
+				nicFree[tr.rank] = start + bytes/par.Bandwidth
+				arrive = nicFree[tr.rank] + par.Latency
+			} else {
+				cpu := pack + par.SendOverhead + bytes/par.Bandwidth
+				now += cpu
+				busy[tr.rank] += cpu
+				arrive = now + par.Latency
+			}
+			arrivals[msgKey{tile.String(), dm.String()}] = arrive
+			res.Messages++
+			res.BytesSent += int64(bytes)
+		}
+
+		procClock[tr.rank] = now
+		ev.End = now
+		if onEvent != nil {
+			onEvent(ev)
+		}
+	}
+
+	for _, c := range procClock {
+		if c > res.Makespan {
+			res.Makespan = c
+		}
+	}
+	var totalBusy float64
+	for _, b := range busy {
+		totalBusy += b
+	}
+	res.SeqTime = float64(res.Points) * par.IterTime
+	if res.Makespan > 0 {
+		res.Speedup = res.SeqTime / res.Makespan
+		res.Utilization = totalBusy / (float64(res.Procs) * res.Makespan)
+	}
+	if len(tiles) > 0 {
+		res.Steps = maxWave - minWave + 1
+	}
+	return res, nil
+}
+
+// countCache memoizes per-tile point counts and communication-region
+// sizes, with constant-time answers for tiles fully inside the space.
+type countCache struct {
+	d          *distrib.Distribution
+	full       map[string]bool
+	fullRegion map[string]int64
+	pts        map[string]int64
+	regions    map[msgKey]int64
+}
+
+func newCountCache(d *distrib.Distribution) *countCache {
+	return &countCache{
+		d: d, full: map[string]bool{},
+		fullRegion: map[string]int64{}, pts: map[string]int64{}, regions: map[msgKey]int64{},
+	}
+}
+
+func (c *countCache) fullInside(jS ilin.Vec) bool {
+	key := jS.String()
+	if v, ok := c.full[key]; ok {
+		return v
+	}
+	v := c.d.TS.TileFullyInside(jS)
+	c.full[key] = v
+	return v
+}
+
+func (c *countCache) points(jS ilin.Vec) int64 {
+	if c.fullInside(jS) {
+		return c.d.TS.T.TileSize
+	}
+	key := jS.String()
+	if v, ok := c.pts[key]; ok {
+		return v
+	}
+	v := c.d.TS.CountTilePoints(jS, nil)
+	c.pts[key] = v
+	return v
+}
+
+func (c *countCache) region(jS ilin.Vec, dm ilin.Vec) int64 {
+	if c.fullInside(jS) {
+		key := dm.String()
+		if v, ok := c.fullRegion[key]; ok {
+			return v
+		}
+		v := c.d.FullTileCommCount(dm)
+		c.fullRegion[key] = v
+		return v
+	}
+	k := msgKey{jS.String(), dm.String()}
+	if v, ok := c.regions[k]; ok {
+		return v
+	}
+	v := c.d.CommRegionCount(jS, dm)
+	c.regions[k] = v
+	return v
+}

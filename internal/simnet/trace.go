@@ -1,0 +1,138 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tilespace/internal/distrib"
+	"tilespace/internal/ilin"
+)
+
+// Event is one tile's simulated execution record.
+type Event struct {
+	Rank     int
+	Tile     string
+	Start    float64 // when the processor turned to this tile
+	RecvDone float64 // after waits + unpack
+	CompDone float64 // after the kernel sweep
+	End      float64 // after sends
+	Waited   float64 // idle time spent blocked on receives
+}
+
+// Trace is the per-tile timeline of a simulated run.
+type Trace struct {
+	Result *Result
+	Events []Event
+}
+
+// SimulateTraced runs Simulate while recording one event per tile.
+func SimulateTraced(d *distrib.Distribution, par Params) (*Trace, error) {
+	tr := &Trace{}
+	res, err := simulate(d, par, func(e Event) {
+		tr.Events = append(tr.Events, e)
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr.Result = res
+	return tr, nil
+}
+
+// Gantt renders a fixed-width text timeline, one row per processor:
+// '.' idle, 'r' receiving/waiting, 'C' computing, 's' sending. Useful for
+// seeing the pipeline fill/drain difference between tile shapes.
+func (tr *Trace) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if len(tr.Events) == 0 {
+		return "(empty trace)\n"
+	}
+	makespan := tr.Result.Makespan
+	if makespan <= 0 {
+		return "(zero makespan)\n"
+	}
+	ranks := map[int][]Event{}
+	maxRank := 0
+	for _, e := range tr.Events {
+		ranks[e.Rank] = append(ranks[e.Rank], e)
+		if e.Rank > maxRank {
+			maxRank = e.Rank
+		}
+	}
+	col := func(t float64) int {
+		c := int(t / makespan * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "gantt (%d cols = %.4fs, '.' idle  r recv  C compute  s send)\n", width, makespan)
+	for r := 0; r <= maxRank; r++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		evs := ranks[r]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+		for _, e := range evs {
+			paint(row, col(e.Start), col(e.RecvDone), 'r')
+			paint(row, col(e.RecvDone), col(e.CompDone), 'C')
+			paint(row, col(e.CompDone), col(e.End), 's')
+		}
+		fmt.Fprintf(&b, "rank %3d |%s|\n", r, row)
+	}
+	return b.String()
+}
+
+func paint(row []byte, from, to int, c byte) {
+	if to <= from {
+		to = from + 1
+	}
+	for i := from; i < to && i < len(row); i++ {
+		row[i] = c
+	}
+}
+
+// CriticalRank returns the rank that finishes last and its idle fraction —
+// where tuning effort should go.
+func (tr *Trace) CriticalRank() (rank int, idleFrac float64) {
+	var lastEnd float64
+	byRank := map[int]struct{ end, waited float64 }{}
+	for _, e := range tr.Events {
+		s := byRank[e.Rank]
+		if e.End > s.end {
+			s.end = e.End
+		}
+		s.waited += e.Waited
+		byRank[e.Rank] = s
+		if e.End > lastEnd {
+			lastEnd, rank = e.End, e.Rank
+		}
+	}
+	if s, ok := byRank[rank]; ok && s.end > 0 {
+		idleFrac = s.waited / s.end
+	}
+	return rank, idleFrac
+}
+
+// PerRankIdle sums each rank's receive-wait time.
+func (tr *Trace) PerRankIdle() ilin.Vec {
+	max := 0
+	for _, e := range tr.Events {
+		if e.Rank > max {
+			max = e.Rank
+		}
+	}
+	// scaled to microseconds so the integer vector is readable
+	out := make(ilin.Vec, max+1)
+	for _, e := range tr.Events {
+		out[e.Rank] += int64(e.Waited * 1e6)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package tiling
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tilespace/internal/ilin"
+	"tilespace/internal/loopnest"
+	"tilespace/internal/poly"
+	"tilespace/internal/rat"
+)
+
+func TestProbe3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	trials := 0
+	for iter := 0; iter < 4000 && trials < 60; iter++ {
+		
+		n := 3
+		p := ilin.NewMat(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				p.Set(i, j, int64(rng.Intn(5)-2))
+			}
+		}
+		d := p.Det()
+		if d == 0 || d > 20 || d < -20 {
+			continue
+		}
+		tr, err := FromP(p)
+		if err != nil {
+			continue
+		}
+		if cnt := tr.ScanTTIS(func(z, jp ilin.Vec) bool { return true }); cnt != tr.TileSize {
+			t.Fatalf("ScanTTIS count %d != TileSize %d, P=%v", cnt, tr.TileSize, p)
+		}
+		s := poly.NewSystem(n)
+		for k := 0; k < n; k++ {
+			s.AddRange(k, 0, int64(rng.Intn(6)+2))
+		}
+		if rng.Intn(2) == 0 {
+			s.Add(poly.Constraint{Coef: ilin.RatVec{rat.One, rat.One, rat.One}, Rhs: rat.FromInt(int64(rng.Intn(10) + 4))})
+		}
+		nest, err := loopnest.New(nil, s, nil)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("iter %d P=%v space:\n%v\n", iter, p, s)
+		ts, err := Analyze(nest, tr.H)
+		if err != nil {
+			continue
+		}
+		trials++
+		sz, _ := nest.Size()
+		if tot := ts.TotalPoints(); tot != sz {
+			t.Fatalf("TotalPoints %d != nest size %d, P=%v", tot, sz, p)
+		}
+		nb, _ := nest.Bounds()
+		counts := map[string]int64{}
+		nb.Scan(func(x ilin.Vec) bool {
+			counts[tr.TileOf(x).String()]++
+			return true
+		})
+		ts.ScanTiles(func(jS ilin.Vec) bool {
+			jS = jS.Clone()
+			want := counts[jS.String()]
+			if got := ts.TilePointCountFast(jS); got != want {
+				t.Fatalf("tile %v: fast %d != brute %d (inside=%v) P=%v", jS, got, want, ts.TileFullyInside(jS), p)
+			}
+			minJP := make(ilin.Vec, n)
+			for k := 0; k < n; k++ {
+				minJP[k] = int64(rng.Intn(int(tr.V[k]) + 1))
+			}
+			var wantM int64
+			ts.ScanTilePoints(jS, func(z, jp ilin.Vec) bool {
+				for k := 0; k < n; k++ {
+					if jp[k] < minJP[k] {
+						return true
+					}
+				}
+				wantM++
+				return true
+			})
+			if got := ts.CountTilePoints(jS, minJP); got != wantM {
+				t.Fatalf("tile %v minJP %v: count %d != brute %d P=%v", jS, minJP, got, wantM, p)
+			}
+			return true
+		})
+	}
+	t.Logf("3D trials: %d", trials)
+}
+
+// D^S completeness: brute-force tile offsets over the whole nest for legal
+// random tilings with deps, compare against computed DS (must be superset).
+func TestProbeTileDeps(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trials := 0
+	for iter := 0; iter < 6000 && trials < 80; iter++ {
+		n := 2
+		p := ilin.NewMat(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				p.Set(i, j, int64(rng.Intn(9)-3))
+			}
+		}
+		d := p.Det()
+		if d == 0 || d > 40 || d < -40 {
+			continue
+		}
+		tr, err := FromP(p)
+		if err != nil {
+			continue
+		}
+		// random deps: q in 1..3, entries 0..2, lex positive
+		q := rng.Intn(3) + 1
+		deps := ilin.NewMat(n, q)
+		for l := 0; l < q; l++ {
+			for i := 0; i < n; i++ {
+				deps.Set(i, l, int64(rng.Intn(3)))
+			}
+			if !deps.Col(l).LexPositive() {
+				deps.Set(0, l, 1)
+			}
+		}
+		nest, err := loopnest.Box(nil, []int64{0, 0}, []int64{int64(rng.Intn(10) + 4), int64(rng.Intn(10) + 4)}, deps)
+		if err != nil {
+			continue
+		}
+		ts, err := Analyze(nest, tr.H)
+		if err != nil {
+			continue
+		}
+		trials++
+		// brute force: for every iteration j and dep d with j-d... paper: j reads j-d,
+		// i.e. value flows from j to j+d. Tile offset = TileOf(j+d)-TileOf(j).
+		inDS := map[string]bool{}
+		for _, v := range ts.DS {
+			inDS[v.String()] = true
+		}
+		nb, _ := nest.Bounds()
+		nb.Scan(func(j ilin.Vec) bool {
+			for l := 0; l < deps.Cols; l++ {
+				jd := j.Add(deps.Col(l))
+				// only count if j+d is in the space
+				ok := true
+				for _, c := range nest.Space.Cons {
+					if c.Coef.Dot(jd.Rat()).Cmp(c.Rhs) > 0 {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				off := ts.T.TileOf(jd).Sub(ts.T.TileOf(j))
+				if off.IsZero() {
+					continue
+				}
+				if !inDS[off.String()] {
+					t.Fatalf("offset %v (j=%v d=%v) missing from DS=%v, P=%v", off, j, deps.Col(l), ts.DS, p)
+				}
+			}
+			return true
+		})
+	}
+	t.Logf("dep trials: %d", trials)
+}

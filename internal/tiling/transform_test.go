@@ -1,0 +1,283 @@
+package tiling
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tilespace/internal/ilin"
+	"tilespace/internal/rat"
+)
+
+// sorHnr builds §4.1's non-rectangular SOR tiling for factors x, y, z.
+func sorHnr(x, y, z int64) *ilin.RatMat {
+	h := ilin.NewRatMat(3, 3)
+	h.Set(0, 0, rat.New(1, x))
+	h.Set(1, 1, rat.New(1, y))
+	h.Set(2, 0, rat.New(-1, z))
+	h.Set(2, 2, rat.New(1, z))
+	return h
+}
+
+// jacobiHnr builds §4.2's non-rectangular Jacobi tiling (needs even y for
+// an integral P).
+func jacobiHnr(x, y, z int64) *ilin.RatMat {
+	h := ilin.NewRatMat(3, 3)
+	h.Set(0, 0, rat.New(1, x))
+	h.Set(0, 1, rat.New(-1, 2*x))
+	h.Set(1, 1, rat.New(1, y))
+	h.Set(2, 2, rat.New(1, z))
+	return h
+}
+
+func TestRectangularTransform(t *testing.T) {
+	tr, err := Rectangular(3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.P.Equal(ilin.Diag(3, 4, 5)) {
+		t.Errorf("P = \n%v", tr.P)
+	}
+	if !tr.V.Equal(ilin.NewVec(3, 4, 5)) {
+		t.Errorf("V = %v", tr.V)
+	}
+	if !tr.HP.Equal(ilin.Identity(3)) || !tr.HT.Equal(ilin.Identity(3)) {
+		t.Error("H' and H̃' should be the identity for rectangular tiling")
+	}
+	if !tr.C.Equal(ilin.NewVec(1, 1, 1)) {
+		t.Errorf("strides = %v", tr.C)
+	}
+	if tr.TileSize != 60 {
+		t.Errorf("TileSize = %d", tr.TileSize)
+	}
+	if _, err := Rectangular(2, 0); err == nil {
+		t.Error("zero extent not rejected")
+	}
+}
+
+func TestSORTransform(t *testing.T) {
+	tr, err := New(sorHnr(4, 5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP := ilin.MatFromRows([]int64{4, 0, 0}, []int64{0, 5, 0}, []int64{4, 0, 6})
+	if !tr.P.Equal(wantP) {
+		t.Errorf("P = \n%v, want \n%v", tr.P, wantP)
+	}
+	if !tr.V.Equal(ilin.NewVec(4, 5, 6)) {
+		t.Errorf("V = %v", tr.V)
+	}
+	wantHP := ilin.MatFromRows([]int64{1, 0, 0}, []int64{0, 1, 0}, []int64{-1, 0, 1})
+	if !tr.HP.Equal(wantHP) {
+		t.Errorf("H' = \n%v", tr.HP)
+	}
+	// H' is unimodular here, so the TTIS has no holes: strides are all 1.
+	if !tr.C.Equal(ilin.NewVec(1, 1, 1)) {
+		t.Errorf("strides = %v", tr.C)
+	}
+	if tr.TileSize != 4*5*6 {
+		t.Errorf("TileSize = %d", tr.TileSize)
+	}
+}
+
+func TestJacobiTransform(t *testing.T) {
+	tr, err := New(jacobiHnr(3, 4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.V.Equal(ilin.NewVec(6, 4, 5)) {
+		t.Errorf("V = %v", tr.V)
+	}
+	wantHP := ilin.MatFromRows([]int64{2, -1, 0}, []int64{0, 1, 0}, []int64{0, 0, 1})
+	if !tr.HP.Equal(wantHP) {
+		t.Errorf("H' = \n%v", tr.HP)
+	}
+	wantHT := ilin.MatFromRows([]int64{1, 0, 0}, []int64{1, 2, 0}, []int64{0, 0, 1})
+	if !tr.HT.Equal(wantHT) {
+		t.Errorf("H̃' = \n%v", tr.HT)
+	}
+	if !tr.C.Equal(ilin.NewVec(1, 2, 1)) {
+		t.Errorf("strides = %v, want (1,2,1)", tr.C)
+	}
+	if tr.TileSize != 3*4*5 {
+		t.Errorf("TileSize = %d, want %d", tr.TileSize, 3*4*5)
+	}
+}
+
+func TestJacobiOddYRejected(t *testing.T) {
+	if _, err := New(jacobiHnr(3, 5, 5)); err == nil {
+		t.Error("odd y should make P non-integral and be rejected")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(ilin.NewRatMat(2, 3)); err == nil {
+		t.Error("non-square H not rejected")
+	}
+	if _, err := New(ilin.NewRatMat(2, 2)); err == nil {
+		t.Error("singular H not rejected")
+	}
+}
+
+func TestFromP(t *testing.T) {
+	p := ilin.MatFromRows([]int64{4, 0, 0}, []int64{0, 5, 0}, []int64{4, 0, 6})
+	tr, err := FromP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.H.Equal(sorHnr(4, 5, 6)) {
+		t.Errorf("H = \n%v", tr.H)
+	}
+	if _, err := FromP(ilin.NewMat(2, 2)); err == nil {
+		t.Error("singular P not rejected")
+	}
+	if _, err := FromP(ilin.NewMat(2, 3)); err == nil {
+		t.Error("non-square P not rejected")
+	}
+}
+
+// TestScanTTISCountsTileSize: the number of TTIS lattice points must equal
+// |det P| for every transform (the lattice partitions the box).
+func TestScanTTISCountsTileSize(t *testing.T) {
+	cases := []*Transform{
+		MustNew(sorHnr(3, 4, 5)),
+		MustNew(jacobiHnr(3, 4, 5)),
+		MustNew(jacobiHnr(2, 2, 3)),
+		mustRect(t, 2, 3),
+	}
+	for i, tr := range cases {
+		if got := tr.ScanTTIS(func(z, jp ilin.Vec) bool { return true }); got != tr.TileSize {
+			t.Errorf("case %d: TTIS count = %d, want %d", i, got, tr.TileSize)
+		}
+	}
+}
+
+func mustRect(t *testing.T, sizes ...int64) *Transform {
+	t.Helper()
+	tr, err := Rectangular(sizes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestScanTTISPointsAreInTIS: every enumerated lattice point j' maps to a
+// global point U·z inside the origin tile, with TTIS coordinates within
+// the box and on the lattice.
+func TestScanTTISPointsAreInTIS(t *testing.T) {
+	tr := MustNew(jacobiHnr(2, 4, 3))
+	tr.ScanTTIS(func(z, jp ilin.Vec) bool {
+		j := tr.U.MulVec(z)
+		if !tr.InTIS(j) {
+			t.Errorf("z=%v: global %v is not in the TIS", z, j)
+			return false
+		}
+		for k := 0; k < tr.N; k++ {
+			if jp[k] < 0 || jp[k] >= tr.V[k] {
+				t.Errorf("j' = %v outside the TTIS box", jp)
+				return false
+			}
+		}
+		if got := tr.JPrime(z); !got.Equal(jp) {
+			t.Errorf("JPrime(%v) = %v, scan gave %v", z, got, jp)
+			return false
+		}
+		return true
+	})
+}
+
+// TestLocateGlobalRoundTrip: for every j in a test box, Locate followed by
+// Global is the identity, and TTIS coordinates stay within the box bounds.
+func TestLocateGlobalRoundTrip(t *testing.T) {
+	for _, tr := range []*Transform{MustNew(jacobiHnr(2, 4, 3)), MustNew(sorHnr(2, 3, 4))} {
+		for a := int64(-3); a <= 6; a++ {
+			for b := int64(-3); b <= 6; b++ {
+				for c := int64(-3); c <= 6; c++ {
+					j := ilin.NewVec(a, b, c)
+					jS, jp, z, ok := tr.Locate(j)
+					if !ok {
+						t.Fatalf("Locate(%v) failed", j)
+					}
+					for k := 0; k < 3; k++ {
+						if jp[k] < 0 || jp[k] >= tr.V[k] {
+							t.Fatalf("Locate(%v): j' = %v outside box", j, jp)
+						}
+					}
+					if got := tr.Global(jS, z); !got.Equal(j) {
+						t.Fatalf("Global(Locate(%v)) = %v", j, got)
+					}
+					if got := tr.TileOf(j); !got.Equal(jS) {
+						t.Fatalf("TileOf mismatch at %v", j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestQuickLocateRoundTrip(t *testing.T) {
+	tr := MustNew(jacobiHnr(3, 6, 4))
+	f := func(a, b, c int16) bool {
+		j := ilin.NewVec(int64(a), int64(b), int64(c))
+		jS, _, z, ok := tr.Locate(j)
+		return ok && tr.Global(jS, z).Equal(j)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLegalAndDeps(t *testing.T) {
+	d := ilin.MatFromRows(
+		[]int64{1, 1, 1, 1, 1},
+		[]int64{1, 2, 0, 1, 1},
+		[]int64{1, 1, 1, 2, 0},
+	) // skewed Jacobi
+	tr := MustNew(jacobiHnr(2, 4, 3))
+	if !tr.Legal(d) {
+		t.Fatal("Jacobi H_nr should be legal for skewed Jacobi deps")
+	}
+	dp := tr.TransformedDeps(d)
+	wantCol0 := ilin.NewVec(1, 1, 1) // H'·(1,1,1) = (2-1, 1, 1)
+	if !dp.Col(0).Equal(wantCol0) {
+		t.Errorf("D' col0 = %v, want %v", dp.Col(0), wantCol0)
+	}
+	if !tr.MaxDepPrime(d).Equal(ilin.NewVec(2, 2, 2)) {
+		t.Errorf("MaxDP = %v", tr.MaxDepPrime(d))
+	}
+	// CC = V - MaxDP = (4-2, 4-2, 3-2).
+	if !tr.CommVector(d).Equal(ilin.NewVec(2, 2, 1)) {
+		t.Errorf("CC = %v", tr.CommVector(d))
+	}
+
+	bad := ilin.MatFromRows([]int64{-1}, []int64{0}, []int64{0})
+	if tr.Legal(bad) {
+		t.Error("negative-time dependence should be illegal")
+	}
+}
+
+func TestMaxDepPrimeNoDeps(t *testing.T) {
+	tr := mustRect(t, 2, 2)
+	if !tr.MaxDepPrime(ilin.NewMat(2, 0)).Equal(ilin.NewVec(0, 0)) {
+		t.Error("MaxDP with no deps should be zero")
+	}
+	if !tr.CommVector(ilin.NewMat(2, 0)).Equal(ilin.NewVec(2, 2)) {
+		t.Error("CC with no deps should equal V")
+	}
+}
+
+func TestZOfHole(t *testing.T) {
+	tr := MustNew(jacobiHnr(2, 4, 3))
+	// (0,1,0) is a hole: j'_2 = 1 requires j'_1 odd when j'_1 = 0.
+	if _, ok := tr.ZOf(ilin.NewVec(0, 1, 0)); ok {
+		t.Error("(0,1,0) should be a TTIS hole")
+	}
+	if _, ok := tr.ZOf(ilin.NewVec(1, 1, 0)); !ok {
+		t.Error("(1,1,0) should be a TTIS lattice point")
+	}
+}
+
+func TestTransformString(t *testing.T) {
+	if MustNew(jacobiHnr(2, 4, 3)).String() == "" {
+		t.Error("empty String")
+	}
+}
