@@ -24,6 +24,7 @@ import (
 	"tilespace/internal/exec"
 	"tilespace/internal/frontend"
 	"tilespace/internal/ilin"
+	"tilespace/internal/mpi"
 	"tilespace/internal/opt"
 	"tilespace/internal/simnet"
 	"tilespace/internal/tiling"
@@ -221,6 +222,35 @@ func BenchmarkParallelExecSOR(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkParallelExecSOROverlap is BenchmarkParallelExecSOR with halos
+// sent through non-blocking Isends drained at chain end (§6 overlap
+// scheme) — compare the two to see the runtime cost of the Isend path.
+func BenchmarkParallelExecSOROverlap(b *testing.B) {
+	app, err := apps.SOR(12, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := tiling.Analyze(app.Nest, app.NonRect[0].H(6, 10, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := exec.NewProgram(ts, app.MapDim, app.Width, app.Kernel, app.Initial)
+	if err != nil {
+		b.Fatal(err)
+	}
+	size, _ := app.Nest.Size()
+	b.SetBytes(size * 8)
+	b.ResetTimer()
+	var stats mpi.Stats
+	for i := 0; i < b.N; i++ {
+		if _, stats, err = p.RunParallelOpts(exec.RunOptions{Overlap: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(stats.OverlappedSends), "overlapped_sends")
 }
 
 // BenchmarkSequentialExecSOR is the single-thread baseline for the above.

@@ -13,8 +13,13 @@
 //	clusterbench                  # all figures at full paper scale
 //	clusterbench -fig 6           # one figure
 //	clusterbench -scale 4         # shrink every space dimension 4×
-//	clusterbench -overlap         # also run the overlap ablation
+//	clusterbench -overlap         # also run the overlap ablation (simulator)
+//	clusterbench -execablation    # run blocking vs overlapped in the real runtime
 //	clusterbench -o results.txt   # tee output to a file
+//
+// -execablation selects between blocking and overlapped (Isend) execution
+// in the in-process runtime under the simulator's injected cost model and
+// checks that the measured winner matches the simulator's prediction.
 package main
 
 import (
@@ -30,9 +35,10 @@ import (
 
 func main() {
 	var (
-		figFlag = flag.String("fig", "all", "figure to run: 5..10 or all")
+		figFlag = flag.String("fig", "all", "figure to run: 5..10, all, or none (ablations only)")
 		scale   = flag.Int64("scale", 1, "shrink space dimensions by this factor (1 = paper scale)")
 		overlap = flag.Bool("overlap", false, "also run the computation-communication overlap ablation")
+		execAbl = flag.Bool("execablation", false, "run blocking vs overlapped communication in the real runtime and compare with the simulator's prediction")
 		outPath = flag.String("o", "", "also write the report to this file")
 	)
 	flag.Parse()
@@ -62,6 +68,9 @@ func main() {
 	improvements := map[string]float64{}
 	matched := 0
 	for _, f := range figs {
+		if *figFlag == "none" {
+			break
+		}
 		if *figFlag != "all" && f.ID != "fig"+*figFlag {
 			continue
 		}
@@ -84,8 +93,8 @@ func main() {
 		}
 	}
 
-	if *figFlag != "all" && matched == 0 {
-		fmt.Fprintf(os.Stderr, "clusterbench: no figure %q (use 5..10 or all)\n", *figFlag)
+	if *figFlag != "all" && *figFlag != "none" && matched == 0 {
+		fmt.Fprintf(os.Stderr, "clusterbench: no figure %q (use 5..10, all, or none)\n", *figFlag)
 		os.Exit(2)
 	}
 
@@ -103,6 +112,29 @@ func main() {
 	if *overlap {
 		runOverlapAblation(out, bench.Scale(*scale), par)
 	}
+
+	if *execAbl {
+		runExecAblation(out, par)
+	}
+}
+
+// runExecAblation measures blocking vs overlapped communication in the
+// real in-process runtime under the simulator's injected cost model
+// (wire costs via Params.NetOptions, compute via RunOptions.PointDelay)
+// and reports whether the measured winner matches the simulated one.
+func runExecAblation(out io.Writer, par simnet.Params) {
+	// Balance compute against transfer so the overlap gain is visible,
+	// then scale the model costs into OS-timer range (matching the
+	// parameters validated by TestExecAblationValidatesCostModel).
+	par.Bandwidth = 3e5
+	par.IterTime = 5e-6
+	a, err := bench.RunExecAblation(6, 16, par, 10)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: execablation: %v\n", err)
+		return
+	}
+	fmt.Fprint(out, a.Render())
+	fmt.Fprintln(out)
 }
 
 // runOverlapAblation compares blocking sends with the overlapped scheme of

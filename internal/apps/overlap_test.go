@@ -1,0 +1,86 @@
+package apps
+
+import (
+	"testing"
+
+	"tilespace/internal/exec"
+	"tilespace/internal/ilin"
+	"tilespace/internal/tiling"
+)
+
+// runOverlapMatrix executes an app under a tiling serially, in blocking
+// parallel mode and in overlapped parallel mode, and requires all three
+// to agree bit-for-bit — the §6 overlap scheme may change timing only,
+// never results.
+func runOverlapMatrix(t *testing.T, app *App, h *ilin.RatMat) {
+	t.Helper()
+	ts, err := tiling.Analyze(app.Nest, h)
+	if err != nil {
+		t.Fatalf("%s: %v", app.Name, err)
+	}
+	p, err := exec.NewProgram(ts, app.MapDim, app.Width, app.Kernel, app.Initial)
+	if err != nil {
+		t.Fatalf("%s: %v", app.Name, err)
+	}
+	seq, err := p.RunSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, overlap := range []bool{false, true} {
+		g, st, err := p.RunParallelOpts(exec.RunOptions{Overlap: overlap})
+		if err != nil {
+			t.Fatalf("%s overlap=%v: %v", app.Name, overlap, err)
+		}
+		if diff, at := seq.MaxAbsDiff(g, p.ScanSpace); diff != 0 {
+			t.Fatalf("%s overlap=%v: differs from serial by %g at %v", app.Name, overlap, diff, at)
+		}
+		if overlap && st.Messages > 0 && st.OverlappedSends != st.Messages {
+			t.Fatalf("%s: %d of %d messages went through the blocking path in overlap mode",
+				app.Name, st.Messages-st.OverlappedSends, st.Messages)
+		}
+	}
+}
+
+// The size grid: small enough to keep -short fast, varied enough to cover
+// ragged boundaries (extents that don't divide the tile factors) and
+// multi-chain mappings.
+var overlapSizes = []struct{ a, b int64 }{
+	{4, 8},
+	{5, 9},
+	{6, 12},
+}
+
+func TestSOROverlapMatchesSerial(t *testing.T) {
+	for _, sz := range overlapSizes {
+		app, err := SOR(sz.a, sz.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runOverlapMatrix(t, app, app.Rect.H(2, 4, 4))
+		runOverlapMatrix(t, app, app.NonRect[0].H(2, 4, 4))
+	}
+}
+
+func TestJacobiOverlapMatchesSerial(t *testing.T) {
+	for _, sz := range overlapSizes {
+		app, err := Jacobi(sz.a, sz.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runOverlapMatrix(t, app, app.Rect.H(2, 4, 4))
+		runOverlapMatrix(t, app, app.NonRect[0].H(2, 4, 4))
+	}
+}
+
+func TestADIOverlapMatchesSerial(t *testing.T) {
+	for _, sz := range overlapSizes {
+		app, err := ADI(sz.a, sz.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runOverlapMatrix(t, app, app.Rect.H(2, 3, 3))
+		for _, f := range app.NonRect {
+			runOverlapMatrix(t, app, f.H(2, 3, 3))
+		}
+	}
+}

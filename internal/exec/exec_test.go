@@ -54,6 +54,24 @@ func comparePrograms(t *testing.T, p *Program) {
 	if diff != 0 {
 		t.Fatalf("parallel differs from sequential by %g at %v (procs=%d, msgs=%d)", diff, at, p.Dist.NumProcs(), stats.Messages)
 	}
+	// The overlapped mode must agree bit-for-bit too, and must route every
+	// data message through the Isend path.
+	ov, ovStats, err := p.RunParallelOpts(RunOptions{Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff, at := seq.MaxAbsDiff(ov, p.ScanSpace); diff != 0 {
+		t.Fatalf("overlapped parallel differs from sequential by %g at %v", diff, at)
+	}
+	if ovStats.Messages != stats.Messages {
+		t.Fatalf("overlapped run sent %d messages, blocking sent %d", ovStats.Messages, stats.Messages)
+	}
+	if ovStats.BlockingSends != 0 {
+		t.Fatalf("overlapped run still used %d blocking sends", ovStats.BlockingSends)
+	}
+	if ovStats.OverlappedSends != stats.Messages {
+		t.Fatalf("OverlappedSends = %d, want %d", ovStats.OverlappedSends, stats.Messages)
+	}
 }
 
 func TestParallelRect2D(t *testing.T) {

@@ -4,10 +4,34 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"tilespace/internal/ilin"
 	"tilespace/internal/mpi"
 )
+
+// RunOptions selects the communication strategy for RunParallel.
+type RunOptions struct {
+	// Overlap switches the SEND phase to non-blocking Isends: after
+	// computing a tile the rank issues one Isend per processor direction
+	// and advances to the next tile immediately, draining the pending
+	// requests at the end of its chain — the computation–communication
+	// overlapping scheme of the paper's §6 (its ref. [8]), the same mode
+	// simnet.Params.Overlap models. Results are bit-identical to the
+	// blocking mode because Isend snapshots the packed buffer.
+	Overlap bool
+	// Net configures the runtime world: the deadlock watchdog and the
+	// injected wire-cost model (see mpi.Options). The zero value means no
+	// watchdog and no injected cost.
+	Net mpi.Options
+	// PointDelay injects CPU cost per iteration point into the compute
+	// phase, the runtime counterpart of simnet.Params.IterTime (scaled the
+	// same way as Net via simnet.Params.NetOptions). Real stencil kernels
+	// take nanoseconds in-process, so without it every schedule looks
+	// communication-bound; with it, compute–communication overlap is
+	// measurable at the modelled ratio. Zero injects nothing.
+	PointDelay time.Duration
+}
 
 // RunParallel executes the program as the paper's generated data-parallel
 // code: one mpi rank per processor, each running its tile chain with the
@@ -18,20 +42,27 @@ import (
 // are written back to the global data space via the computer-owns rule.
 //
 // It returns the global array and the runtime's traffic statistics.
+// RunParallel uses blocking sends; see RunParallelOpts for the overlapped
+// mode and watchdog/cost injection.
 func (p *Program) RunParallel() (*Global, mpi.Stats, error) {
+	return p.RunParallelOpts(RunOptions{})
+}
+
+// RunParallelOpts is RunParallel with an explicit execution strategy.
+func (p *Program) RunParallelOpts(opt RunOptions) (*Global, mpi.Stats, error) {
 	lo, hi, err := p.TS.Nest.BoundingBox()
 	if err != nil {
 		return nil, mpi.Stats{}, err
 	}
 	g := NewGlobal(lo, hi, p.Width)
 
-	world := mpi.NewWorld(p.Dist.NumProcs())
+	world := mpi.NewWorldOpts(p.Dist.NumProcs(), opt.Net)
 	var (
 		mu     sync.Mutex
 		runErr error
 	)
-	world.Run(func(c *mpi.Comm) {
-		if err := p.runRank(c, g); err != nil {
+	werr := world.RunE(func(c *mpi.Comm) {
+		if err := p.runRank(c, g, opt); err != nil {
 			mu.Lock()
 			if runErr == nil {
 				runErr = err
@@ -41,6 +72,9 @@ func (p *Program) RunParallel() (*Global, mpi.Stats, error) {
 	})
 	if runErr != nil {
 		return nil, mpi.Stats{}, runErr
+	}
+	if werr != nil {
+		return nil, mpi.Stats{}, werr
 	}
 	return g, world.Stats(), nil
 }
@@ -59,6 +93,10 @@ type rankState struct {
 	dmTags map[string]int
 
 	tileCounts map[string]int64 // cache for interior-tile detection
+
+	overlap    bool
+	pointDelay time.Duration
+	pending    []*mpi.Request // in-flight Isends, drained at chain end
 }
 
 // addrIface narrows the distrib.Addresser surface used here (helps tests
@@ -70,13 +108,15 @@ type addrIface interface {
 	Size() int64
 }
 
-func (p *Program) runRank(c *mpi.Comm, g *Global) error {
+func (p *Program) runRank(c *mpi.Comm, g *Global, opt RunOptions) error {
 	r := c.Rank()
 	st := &rankState{
 		p: p, c: c, rank: r,
 		addr:       p.Dist.Addresser(r),
 		dmTags:     map[string]int{},
 		tileCounts: map[string]int64{},
+		overlap:    opt.Overlap,
+		pointDelay: opt.PointDelay,
 	}
 	st.la = make([]float64, st.addr.Size()*int64(p.Width))
 	q := p.TS.Nest.Q()
@@ -99,6 +139,10 @@ func (p *Program) runRank(c *mpi.Comm, g *Global) error {
 			return err
 		}
 	}
+	// Overlap mode: every send so far was an Isend whose transfer runs on
+	// the rank's NIC; make sure all of them completed before declaring the
+	// chain done (receivers need the data, and Stats must be final).
+	mpi.Waitall(st.pending)
 	st.writeBack(g)
 	return nil
 }
@@ -232,6 +276,7 @@ func (st *rankState) computePhase(tile ilin.Vec, t int64) {
 	w := st.p.Width
 	q := len(st.deps)
 	reads := make([][]float64, q)
+	var pts int64
 	st.p.TS.ScanTilePoints(tile, func(z, jp ilin.Vec) bool {
 		for l := 0; l < q; l++ {
 			cell := st.addr.FlatRead(jp, st.dps[l], t) * int64(w)
@@ -240,13 +285,19 @@ func (st *rankState) computePhase(tile ilin.Vec, t int64) {
 		j := st.p.TS.GlobalOf(tile, z)
 		out := st.addr.Flat(jp, t) * int64(w)
 		st.p.Kernel(j, reads, st.la[out:out+int64(w)])
+		pts++
 		return true
 	})
+	if st.pointDelay > 0 {
+		time.Sleep(time.Duration(pts) * st.pointDelay)
+	}
 }
 
 // sendPhase implements the paper's SEND: one message per processor
 // direction d^m with at least one valid successor tile, packing this
-// tile's communication region.
+// tile's communication region. In overlap mode the packed buffer goes out
+// as an Isend (the pack itself must still happen now — the LDS cells are
+// reused by later tiles) and the rank advances without waiting.
 func (st *rankState) sendPhase(tile ilin.Vec) error {
 	d := st.p.Dist
 	w := st.p.Width
@@ -270,7 +321,11 @@ func (st *rankState) sendPhase(tile ilin.Vec) error {
 			buf = append(buf, st.la[cell:cell+int64(w)]...)
 			return true
 		})
-		st.c.Send(dstRank, i, buf)
+		if st.overlap {
+			st.pending = append(st.pending, st.c.Isend(dstRank, i, buf))
+		} else {
+			st.c.Send(dstRank, i, buf)
+		}
 	}
 	return nil
 }

@@ -1,20 +1,24 @@
 // Package mpi is an in-process message-passing runtime with MPI-like
 // semantics: a fixed-size world of ranks (goroutines), blocking typed
 // point-to-point Send/Recv with (source, tag) matching and per-stream FIFO
-// ordering, barriers and the collectives the generated programs use.
+// ordering, non-blocking Isend/Irecv with completion Requests, barriers
+// and the collectives the generated programs use.
 //
 // It substitutes for the paper's MPI-over-FastEthernet transport (Go has no
 // mature MPI binding): the compiled tile programs only rely on ordered
 // point-to-point delivery plus a barrier, which this package provides with
 // the same semantics. Sends are "eager" (buffered, non-blocking) as in
-// MPI's small-message path; timing behaviour is modelled separately by the
-// simnet package.
+// MPI's small-message path; timing behaviour is modelled by the simnet
+// package, and can additionally be *injected* into this runtime through
+// Options.LinkLatency/PerValue so overlap effects become measurable
+// in-process (see Options).
 package mpi
 
 import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Message is a delivered payload with its envelope.
@@ -28,80 +32,201 @@ type streamKey struct {
 	src, tag int
 }
 
+// stream is one (source, tag) FIFO. Arriving messages get consecutive
+// sequence numbers; consumers reserve tickets, and ticket t matches
+// exactly the t-th arrived message — so posted receives complete in
+// posting order no matter which Wait is called first, as in MPI.
+type stream struct {
+	nextSeq    uint64             // sequence of the next arriving message
+	nextTicket uint64             // next consumer reservation to hand out
+	arrived    map[uint64]Message // arrived but unconsumed, by sequence
+}
+
 // mailbox is one rank's incoming message store: per-(source, tag) FIFO
 // queues guarded by a single condition variable.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queues map[streamKey][]Message
+	queues map[streamKey]*stream
 }
 
 func newMailbox() *mailbox {
-	mb := &mailbox{queues: map[streamKey][]Message{}}
+	mb := &mailbox{queues: map[streamKey]*stream{}}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
 
+// streamOf returns (creating if needed) the stream for k; callers hold mu.
+func (mb *mailbox) streamOf(k streamKey) *stream {
+	s := mb.queues[k]
+	if s == nil {
+		s = &stream{arrived: map[uint64]Message{}}
+		mb.queues[k] = s
+	}
+	return s
+}
+
 func (mb *mailbox) put(m Message) {
 	mb.mu.Lock()
-	k := streamKey{m.Source, m.Tag}
-	mb.queues[k] = append(mb.queues[k], m)
+	s := mb.streamOf(streamKey{m.Source, m.Tag})
+	s.arrived[s.nextSeq] = m
+	s.nextSeq++
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
 }
 
-func (mb *mailbox) take(src, tag int) Message {
-	k := streamKey{src, tag}
+// reserve allocates the next consumer ticket on a stream.
+func (mb *mailbox) reserve(k streamKey) uint64 {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for len(mb.queues[k]) == 0 {
-		mb.cond.Wait()
-	}
-	q := mb.queues[k]
-	m := q[0]
-	mb.queues[k] = q[1:]
-	return m
+	s := mb.streamOf(k)
+	t := s.nextTicket
+	s.nextTicket++
+	return t
 }
 
-func (mb *mailbox) tryTake(src, tag int) (Message, bool) {
-	k := streamKey{src, tag}
+// takeTicket blocks until this ticket's message is available and returns
+// it. When the world has a watchdog timeout it panics with a deadlock
+// diagnostic instead of waiting forever; when a peer rank has failed it
+// panics with a secondary abort so the world can drain.
+func (mb *mailbox) takeTicket(k streamKey, ticket uint64, w *World, rank int, op string) Message {
+	to := w.opts.Watchdog
+	var deadline time.Time
+	if to > 0 {
+		deadline = time.Now().Add(to)
+		// Wake the waiter when the deadline passes. Locking (and
+		// releasing) mu before broadcasting guarantees the waiter is
+		// either inside cond.Wait (and receives the broadcast) or has not
+		// yet checked the deadline (and will see it expired).
+		timer := time.AfterFunc(to, func() {
+			mb.mu.Lock()
+			//lint:ignore SA2001 empty critical section orders the broadcast
+			mb.mu.Unlock()
+			mb.cond.Broadcast()
+		})
+		defer timer.Stop()
+	}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	if len(mb.queues[k]) == 0 {
+	s := mb.streamOf(k)
+	for {
+		if w.aborted.Load() {
+			panic(abortPanic{fmt.Sprintf("rank %d abandoned %s(src=%d, tag=%d): a peer rank failed", rank, op, k.src, k.tag)})
+		}
+		if m, ok := s.arrived[ticket]; ok {
+			delete(s.arrived, ticket)
+			return m
+		}
+		if to > 0 && !time.Now().Before(deadline) {
+			panic(fmt.Sprintf("watchdog: rank %d blocked in %s(src=%d, tag=%d) longer than %v — deadlock suspected (no matching send)", rank, op, k.src, k.tag, to))
+		}
+		mb.cond.Wait()
+	}
+}
+
+// tryTakeTicket is the non-blocking takeTicket.
+func (mb *mailbox) tryTakeTicket(k streamKey, ticket uint64) (Message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	s := mb.streamOf(k)
+	m, ok := s.arrived[ticket]
+	if !ok {
 		return Message{}, false
 	}
-	q := mb.queues[k]
-	m := q[0]
-	mb.queues[k] = q[1:]
+	delete(s.arrived, ticket)
 	return m, true
+}
+
+// tryTake polls the stream: it claims the next unreserved message, if
+// arrived (messages matching outstanding Recv/Irecv reservations are off
+// limits — posted receives have priority over polling).
+func (mb *mailbox) tryTake(k streamKey) (Message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	s := mb.streamOf(k)
+	m, ok := s.arrived[s.nextTicket]
+	if !ok {
+		return Message{}, false
+	}
+	delete(s.arrived, s.nextTicket)
+	s.nextTicket++
+	return m, true
+}
+
+// abortPanic marks a secondary failure (a rank torn down because a peer
+// already panicked); World.RunE reports the primary diagnostic instead.
+type abortPanic struct{ msg string }
+
+func (a abortPanic) String() string { return a.msg }
+
+// Options configures a World beyond its rank count.
+type Options struct {
+	// Watchdog aborts any Recv or Request.Wait blocked longer than this
+	// with a diagnostic naming the stuck rank, source and tag, instead of
+	// hanging the process on a mis-matched schedule. Zero disables it.
+	Watchdog time.Duration
+	// LinkLatency and PerValue inject synthetic wire cost: each message
+	// costs LinkLatency plus PerValue per float64 carried. A blocking Send
+	// pays it on the sending goroutine (the transfer occupies the CPU, as
+	// with blocking MPI over TCP); an Isend charges it to the rank's
+	// background NIC goroutine so the sender computes on — which is what
+	// makes computation–communication overlap measurable in-process.
+	// Zero (the default) injects nothing.
+	LinkLatency time.Duration
+	PerValue    time.Duration
+}
+
+// RankTraffic is one rank's outbound traffic.
+type RankTraffic struct {
+	BlockingSends   int64 // messages sent with Send/collectives
+	OverlappedSends int64 // messages sent with Isend
+	Values          int64 // float64 values across both
 }
 
 // Stats aggregates per-world traffic counters.
 type Stats struct {
-	Messages int64 // point-to-point messages sent
-	Values   int64 // float64 values carried by those messages
+	Messages        int64 // point-to-point messages sent (all kinds)
+	Values          int64 // float64 values carried by those messages
+	BlockingSends   int64 // messages sent on the blocking path
+	OverlappedSends int64 // messages sent on the non-blocking (Isend) path
+	PerRank         []RankTraffic
+}
+
+// rankCounters is the mutable form of RankTraffic.
+type rankCounters struct {
+	blocking   atomic.Int64
+	overlapped atomic.Int64
+	values     atomic.Int64
 }
 
 // World is a communicator universe of Size ranks.
 type World struct {
 	size    int
+	opts    Options
 	boxes   []*mailbox
 	barrier *barrier
+	aborted atomic.Bool
 
 	messages atomic.Int64
 	values   atomic.Int64
+	perRank  []rankCounters
 }
 
-// NewWorld creates a world with the given number of ranks.
-func NewWorld(size int) *World {
+// NewWorld creates a world with the given number of ranks and default
+// options (no watchdog, no injected wire cost).
+func NewWorld(size int) *World { return NewWorldOpts(size, Options{}) }
+
+// NewWorldOpts creates a world with explicit options.
+func NewWorldOpts(size int, opts Options) *World {
 	if size <= 0 {
 		panic(fmt.Sprintf("mpi: world size %d must be positive", size))
 	}
-	w := &World{size: size, barrier: newBarrier(size)}
+	w := &World{size: size, opts: opts, barrier: newBarrier(size)}
 	w.boxes = make([]*mailbox, size)
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 	}
+	w.perRank = make([]rankCounters, size)
 	return w
 }
 
@@ -110,38 +235,106 @@ func (w *World) Size() int { return w.size }
 
 // Stats returns the cumulative traffic counters.
 func (w *World) Stats() Stats {
-	return Stats{Messages: w.messages.Load(), Values: w.values.Load()}
+	st := Stats{
+		Messages: w.messages.Load(),
+		Values:   w.values.Load(),
+		PerRank:  make([]RankTraffic, w.size),
+	}
+	for i := range w.perRank {
+		rc := &w.perRank[i]
+		rt := RankTraffic{
+			BlockingSends:   rc.blocking.Load(),
+			OverlappedSends: rc.overlapped.Load(),
+			Values:          rc.values.Load(),
+		}
+		st.PerRank[i] = rt
+		st.BlockingSends += rt.BlockingSends
+		st.OverlappedSends += rt.OverlappedSends
+	}
+	return st
 }
 
-// Run executes fn once per rank, each on its own goroutine, and blocks
-// until all ranks return. A panic in any rank is re-raised in the caller
-// after the others finish.
-func (w *World) Run(fn func(c *Comm)) {
+// wireDelay is the injected transfer cost for a message of n values.
+func (w *World) wireDelay(n int) time.Duration {
+	return w.opts.LinkLatency + time.Duration(n)*w.opts.PerValue
+}
+
+// deliver counts and enqueues one message into dst's mailbox.
+func (w *World) deliver(src, dst, tag int, data []float64, overlapped bool) {
+	w.messages.Add(1)
+	w.values.Add(int64(len(data)))
+	rc := &w.perRank[src]
+	if overlapped {
+		rc.overlapped.Add(1)
+	} else {
+		rc.blocking.Add(1)
+	}
+	rc.values.Add(int64(len(data)))
+	w.boxes[dst].put(Message{Source: src, Tag: tag, Data: data})
+}
+
+// abort tears the world down after a rank failure: the barrier and every
+// blocked mailbox waiter panic with a secondary diagnostic instead of
+// deadlocking, so RunE can return the primary one.
+func (w *World) abort() {
+	if !w.aborted.CompareAndSwap(false, true) {
+		return
+	}
+	w.barrier.poison()
+	for _, mb := range w.boxes {
+		mb.mu.Lock()
+		//lint:ignore SA2001 empty critical section orders the broadcast
+		mb.mu.Unlock()
+		mb.cond.Broadcast()
+	}
+}
+
+// RunE executes fn once per rank, each on its own goroutine, and blocks
+// until all ranks return. A panic in any rank aborts the world (peers
+// blocked in receives or barriers are torn down promptly) and is returned
+// as an error, preferring the original diagnostic over secondary
+// teardown panics. Outstanding Isends are flushed before RunE returns, so
+// Stats are complete.
+func (w *World) RunE(fn func(c *Comm)) error {
 	var wg sync.WaitGroup
 	panics := make([]any, w.size)
 	for r := 0; r < w.size; r++ {
 		wg.Add(1)
 		go func(rank int) {
+			c := &Comm{world: w, rank: rank}
 			defer wg.Done()
+			defer c.flushNIC()
 			defer func() {
 				if p := recover(); p != nil {
 					panics[rank] = p
-					// Unblock peers stuck in recv/barrier would require
-					// cancellation; panics in well-formed programs are
-					// programming errors, so let remaining ranks be
-					// abandoned if they deadlock — tests run under the
-					// go test timeout.
-					w.barrier.poison()
+					w.abort()
 				}
 			}()
-			fn(&Comm{world: w, rank: rank})
+			fn(c)
 		}(r)
 	}
 	wg.Wait()
+	var secondary error
 	for r, p := range panics {
-		if p != nil {
-			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+		if p == nil {
+			continue
 		}
+		if _, isAbort := p.(abortPanic); isAbort {
+			if secondary == nil {
+				secondary = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
+			}
+			continue
+		}
+		return fmt.Errorf("mpi: rank %d panicked: %v", r, p)
+	}
+	return secondary
+}
+
+// Run is RunE for callers that treat rank failures as programming errors:
+// it re-raises the collected failure as a panic.
+func (w *World) Run(fn func(c *Comm)) {
+	if err := w.RunE(fn); err != nil {
+		panic(err.Error())
 	}
 }
 
@@ -149,6 +342,9 @@ func (w *World) Run(fn func(c *Comm)) {
 type Comm struct {
 	world *World
 	rank  int
+
+	nicMu sync.Mutex
+	nic   *nicQueue
 }
 
 // Rank returns this endpoint's rank.
@@ -171,7 +367,8 @@ func (c *Comm) checkRank(r int) {
 }
 
 // Send delivers a copy of data to dst with the given tag. It is eager:
-// the call returns as soon as the message is enqueued. Tags must be
+// the call returns as soon as the message is enqueued (plus any injected
+// wire cost, which the blocking path pays on the caller). Tags must be
 // non-negative (negative tags are reserved for collectives).
 func (c *Comm) Send(dst, tag int, data []float64) {
 	if tag < 0 {
@@ -184,14 +381,15 @@ func (c *Comm) send(dst, tag int, data []float64) {
 	c.checkRank(dst)
 	buf := make([]float64, len(data))
 	copy(buf, data)
-	c.world.messages.Add(1)
-	c.world.values.Add(int64(len(data)))
-	c.world.boxes[dst].put(Message{Source: c.rank, Tag: tag, Data: buf})
+	if d := c.world.wireDelay(len(buf)); d > 0 && !c.world.aborted.Load() {
+		time.Sleep(d)
+	}
+	c.world.deliver(c.rank, dst, tag, buf, false)
 }
 
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload. Messages on one (src, tag) stream arrive in send
-// order.
+// order; interleaved Recv/Irecv on one stream complete in posting order.
 func (c *Comm) Recv(src, tag int) []float64 {
 	if tag < 0 {
 		panic("mpi: negative tags are reserved")
@@ -201,17 +399,21 @@ func (c *Comm) Recv(src, tag int) []float64 {
 
 func (c *Comm) recv(src, tag int) []float64 {
 	c.checkRank(src)
-	return c.world.boxes[c.rank].take(src, tag).Data
+	mb := c.world.boxes[c.rank]
+	k := streamKey{src, tag}
+	ticket := mb.reserve(k)
+	return mb.takeTicket(k, ticket, c.world, c.rank, "Recv").Data
 }
 
 // TryRecv is a non-blocking Recv; ok is false when no matching message is
-// queued.
+// queued (or when posted receives on the stream are still pending — they
+// have priority).
 func (c *Comm) TryRecv(src, tag int) ([]float64, bool) {
 	if tag < 0 {
 		panic("mpi: negative tags are reserved")
 	}
 	c.checkRank(src)
-	m, ok := c.world.boxes[c.rank].tryTake(src, tag)
+	m, ok := c.world.boxes[c.rank].tryTake(streamKey{src, tag})
 	return m.Data, ok
 }
 
@@ -336,7 +538,7 @@ func (b *barrier) await() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.poisoned {
-		panic("mpi: barrier poisoned by a peer rank's panic")
+		panic(abortPanic{"barrier poisoned by a peer rank's panic"})
 	}
 	gen := b.gen
 	b.count++
@@ -350,12 +552,12 @@ func (b *barrier) await() {
 		b.cond.Wait()
 	}
 	if b.poisoned {
-		panic("mpi: barrier poisoned by a peer rank's panic")
+		panic(abortPanic{"barrier poisoned by a peer rank's panic"})
 	}
 }
 
-// poison unblocks barrier waiters after a rank dies, so Run can finish and
-// re-raise the original panic.
+// poison unblocks barrier waiters after a rank dies, so RunE can finish
+// and report the original panic.
 func (b *barrier) poison() {
 	b.mu.Lock()
 	b.poisoned = true

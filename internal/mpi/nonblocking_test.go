@@ -1,0 +1,290 @@
+package mpi
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestIsendWaitDelivers(t *testing.T) {
+	w := NewWorld(2)
+	var got []float64
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 7, []float64{1, 2, 3})
+			if v := req.Wait(); v != nil {
+				t.Errorf("send Wait returned %v, want nil", v)
+			}
+			// Wait must be idempotent.
+			req.Wait()
+		} else {
+			got = c.Recv(0, 7)
+		}
+	})
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIsendSnapshotsBuffer(t *testing.T) {
+	w := NewWorld(2)
+	var got []float64
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float64{42}
+			req := c.Isend(1, 0, buf)
+			buf[0] = -1 // caller may reuse immediately
+			req.Wait()
+		} else {
+			got = c.Recv(0, 0)
+		}
+	})
+	if got[0] != 42 {
+		t.Fatalf("got %v, want [42] — Isend must copy at call time", got)
+	}
+}
+
+func TestIsendFIFOOrdering(t *testing.T) {
+	const n = 200
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			var reqs []*Request
+			for i := 0; i < n; i++ {
+				reqs = append(reqs, c.Isend(1, 3, []float64{float64(i)}))
+			}
+			Waitall(reqs)
+		} else {
+			for i := 0; i < n; i++ {
+				if v := c.Recv(0, 3); v[0] != float64(i) {
+					t.Errorf("message %d carries %v", i, v[0])
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestIrecvWaitAndTest(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			// Post two receives before any send exists; they must complete
+			// in posting order regardless of Wait order.
+			r1 := c.Irecv(1, 5)
+			r2 := c.Irecv(1, 5)
+			if _, ok := r1.Test(); ok {
+				t.Error("Test succeeded before send")
+			}
+			c.Send(1, 0, []float64{0}) // release the sender
+			if v := r2.Wait(); v[0] != 2 {
+				t.Errorf("second posted recv got %v, want 2", v[0])
+			}
+			if v := r1.Wait(); v[0] != 1 {
+				t.Errorf("first posted recv got %v, want 1", v[0])
+			}
+			if v, ok := r1.Test(); !ok || v[0] != 1 {
+				t.Errorf("Test after Wait = %v, %v", v, ok)
+			}
+		} else {
+			c.Recv(0, 0)
+			c.Send(0, 5, []float64{1})
+			c.Send(0, 5, []float64{2})
+		}
+	})
+}
+
+func TestTryRecvYieldsToPostedIrecv(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			req := c.Irecv(1, 4)
+			c.Send(1, 0, nil)
+			c.Recv(1, 1) // sender has delivered the tag-4 message
+			if _, ok := c.TryRecv(1, 4); ok {
+				t.Error("TryRecv stole a message reserved by a posted Irecv")
+			}
+			if v := req.Wait(); v[0] != 9 {
+				t.Errorf("Irecv got %v", v)
+			}
+		} else {
+			c.Recv(0, 0)
+			c.Send(0, 4, []float64{9})
+			c.Send(0, 1, nil)
+		}
+	})
+}
+
+func TestStatsCountOverlappedVsBlocking(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(2, 1, []float64{1, 2})
+			c.Isend(2, 1, []float64{3}).Wait()
+		case 1:
+			c.Isend(2, 2, []float64{4, 5, 6}).Wait()
+		case 2:
+			c.Recv(0, 1)
+			c.Recv(0, 1)
+			c.Recv(1, 2)
+		}
+	})
+	st := w.Stats()
+	if st.Messages != 3 || st.Values != 6 {
+		t.Fatalf("Messages=%d Values=%d", st.Messages, st.Values)
+	}
+	if st.BlockingSends != 1 || st.OverlappedSends != 2 {
+		t.Fatalf("BlockingSends=%d OverlappedSends=%d", st.BlockingSends, st.OverlappedSends)
+	}
+	if len(st.PerRank) != 3 {
+		t.Fatalf("PerRank len %d", len(st.PerRank))
+	}
+	if st.PerRank[0].BlockingSends != 1 || st.PerRank[0].OverlappedSends != 1 || st.PerRank[0].Values != 3 {
+		t.Errorf("rank 0 traffic %+v", st.PerRank[0])
+	}
+	if st.PerRank[1].OverlappedSends != 1 || st.PerRank[1].Values != 3 {
+		t.Errorf("rank 1 traffic %+v", st.PerRank[1])
+	}
+	if st.PerRank[2] != (RankTraffic{}) {
+		t.Errorf("rank 2 traffic %+v, want zero", st.PerRank[2])
+	}
+}
+
+func TestUnwaitedIsendStillDelivered(t *testing.T) {
+	w := NewWorld(2)
+	var got atomic.Bool
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Isend(1, 0, []float64{1}) // never Waited; flushed at shutdown
+		} else {
+			c.Recv(0, 0)
+			got.Store(true)
+		}
+	})
+	if !got.Load() {
+		t.Fatal("message lost")
+	}
+	if st := w.Stats(); st.OverlappedSends != 1 {
+		t.Fatalf("OverlappedSends = %d", st.OverlappedSends)
+	}
+}
+
+// TestWatchdogMistaggedRecv is the deadlock-watchdog contract: a receive
+// that can never match must fail within the timeout with a diagnostic
+// naming the stuck rank, source and tag — not hang the suite.
+func TestWatchdogMistaggedRecv(t *testing.T) {
+	w := NewWorldOpts(2, Options{Watchdog: 100 * time.Millisecond})
+	start := time.Now()
+	err := w.RunE(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 3, []float64{1})
+		} else {
+			c.Recv(0, 7) // wrong tag: sender used 3
+		}
+	})
+	if err == nil {
+		t.Fatal("mis-tagged receive did not fail")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("watchdog took %v to fire", elapsed)
+	}
+	for _, want := range []string{"watchdog", "rank 1", "src=0", "tag=7"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("diagnostic %q missing %q", err, want)
+		}
+	}
+}
+
+// TestWatchdogAbortsPeers: when one rank trips the watchdog, ranks blocked
+// in unrelated receives are torn down promptly instead of deadlocking.
+func TestWatchdogAbortsPeers(t *testing.T) {
+	w := NewWorldOpts(3, Options{Watchdog: 100 * time.Millisecond})
+	done := make(chan error, 1)
+	go func() {
+		done <- w.RunE(func(c *Comm) {
+			switch c.Rank() {
+			case 0:
+				c.Recv(1, 0) // never sent: trips the watchdog
+			case 1:
+				c.Recv(2, 0) // waits on rank 2, which never sends either
+			case 2:
+				c.Recv(0, 0)
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "watchdog") {
+			t.Fatalf("err = %v, want watchdog diagnostic", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("world did not tear down after watchdog")
+	}
+}
+
+func TestWatchdogQuietWhenMatched(t *testing.T) {
+	w := NewWorldOpts(2, Options{Watchdog: 5 * time.Second})
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			time.Sleep(20 * time.Millisecond) // matched, just late
+			c.Send(1, 0, []float64{1})
+		} else {
+			if v := c.Recv(0, 0); v[0] != 1 {
+				t.Errorf("got %v", v)
+			}
+		}
+	})
+}
+
+func TestWatchdogIrecvWait(t *testing.T) {
+	w := NewWorldOpts(1, Options{Watchdog: 100 * time.Millisecond})
+	err := w.RunE(func(c *Comm) {
+		c.Irecv(0, 2).Wait() // no self-send ever posted
+	})
+	if err == nil || !strings.Contains(err.Error(), "tag=2") {
+		t.Fatalf("err = %v, want watchdog diagnostic with tag", err)
+	}
+}
+
+func TestInjectedWireCostBlockingVsOverlap(t *testing.T) {
+	const msgs = 8
+	const lat = 10 * time.Millisecond
+	run := func(overlap bool) time.Duration {
+		w := NewWorldOpts(2, Options{LinkLatency: lat})
+		start := time.Now()
+		var senderBusy time.Duration
+		w.Run(func(c *Comm) {
+			if c.Rank() == 0 {
+				t0 := time.Now()
+				var reqs []*Request
+				for i := 0; i < msgs; i++ {
+					if overlap {
+						reqs = append(reqs, c.Isend(1, 0, []float64{1}))
+					} else {
+						c.Send(1, 0, []float64{1})
+					}
+				}
+				senderBusy = time.Since(t0) // before Waitall: the compute window
+				Waitall(reqs)
+			} else {
+				for i := 0; i < msgs; i++ {
+					c.Recv(0, 0)
+				}
+			}
+		})
+		_ = time.Since(start)
+		return senderBusy
+	}
+	blocking := run(false)
+	overlapped := run(true)
+	// Blocking pays msgs×lat on the sender's CPU path; Isend returns
+	// immediately, so the sender's issue loop must be far faster.
+	if blocking < msgs*lat/2 {
+		t.Errorf("blocking sender busy only %v, want ≳%v", blocking, msgs*lat)
+	}
+	if overlapped > blocking/2 {
+		t.Errorf("overlapped sender busy %v, not hidden vs blocking %v", overlapped, blocking)
+	}
+}

@@ -1,0 +1,219 @@
+package mpi
+
+// Race-focused coverage: every test here drives the runtime from many
+// goroutines at once and is meant to run under -race in CI. The point is
+// not the arithmetic but the interleavings — concurrent Send/Recv on one
+// mailbox, Isend NIC traffic racing blocking traffic on other streams,
+// Test polling racing delivery, collectives back-to-back, and Stats reads
+// racing in-flight sends.
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRaceConcurrentStreams: each rank runs several worker goroutines,
+// all sending and receiving concurrently on disjoint (src, tag) streams.
+func TestRaceConcurrentStreams(t *testing.T) {
+	const (
+		ranks   = 4
+		workers = 4
+		msgs    = 25
+	)
+	w := NewWorld(ranks)
+	w.Run(func(c *Comm) {
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				for dst := 0; dst < ranks; dst++ {
+					if dst == c.Rank() {
+						continue
+					}
+					for i := 0; i < msgs; i++ {
+						c.Send(dst, wk, []float64{float64(i)})
+					}
+				}
+			}(wk)
+		}
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				for src := 0; src < ranks; src++ {
+					if src == c.Rank() {
+						continue
+					}
+					for i := 0; i < msgs; i++ {
+						if v := c.Recv(src, wk); v[0] != float64(i) {
+							t.Errorf("stream (%d,%d): message %d carries %v", src, wk, i, v[0])
+							return
+						}
+					}
+				}
+			}(wk)
+		}
+		wg.Wait()
+	})
+	want := int64(ranks * (ranks - 1) * workers * msgs)
+	if st := w.Stats(); st.Messages != want {
+		t.Fatalf("Messages = %d, want %d", st.Messages, want)
+	}
+}
+
+// TestRaceIsendWaitConcurrent: many goroutines per rank issue Isends and
+// Wait on them while the receiver drains with a mix of Recv and Irecv.
+func TestRaceIsendWaitConcurrent(t *testing.T) {
+	const (
+		senders = 6
+		msgs    = 30
+	)
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			var wg sync.WaitGroup
+			for s := 0; s < senders; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					var reqs []*Request
+					for i := 0; i < msgs; i++ {
+						reqs = append(reqs, c.Isend(1, s, []float64{float64(s*msgs + i)}))
+					}
+					Waitall(reqs)
+				}(s)
+			}
+			wg.Wait()
+		} else {
+			var wg sync.WaitGroup
+			for s := 0; s < senders; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					sum := 0.0
+					for i := 0; i < msgs; i++ {
+						if i%2 == 0 {
+							sum += c.Recv(0, s)[0]
+						} else {
+							sum += c.Irecv(0, s).Wait()[0]
+						}
+					}
+					base := float64(s * msgs)
+					want := base*msgs + float64(msgs*(msgs-1)/2)
+					if sum != want {
+						t.Errorf("stream %d: sum %v, want %v", s, sum, want)
+					}
+				}(s)
+			}
+			wg.Wait()
+		}
+	})
+	if st := w.Stats(); st.OverlappedSends != senders*msgs {
+		t.Fatalf("OverlappedSends = %d, want %d", st.OverlappedSends, senders*msgs)
+	}
+}
+
+// TestRaceTestPollingVsDelivery: Test() spins on a request while the NIC
+// delivers — exercises the tryTakeTicket path against concurrent put.
+func TestRaceTestPollingVsDelivery(t *testing.T) {
+	const rounds = 50
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		for i := 0; i < rounds; i++ {
+			if c.Rank() == 0 {
+				req := c.Irecv(1, 0)
+				for {
+					if v, ok := req.Test(); ok {
+						if v[0] != float64(i) {
+							t.Errorf("round %d got %v", i, v[0])
+						}
+						break
+					}
+				}
+				c.Send(1, 1, nil) // ack, keeps rounds in lockstep
+			} else {
+				c.Isend(0, 0, []float64{float64(i)})
+				c.Recv(0, 1)
+			}
+		}
+	})
+}
+
+// TestRaceCollectivesLoop: all collectives back-to-back in a loop; their
+// internal sends/recvs share mailboxes with each other across rounds.
+func TestRaceCollectivesLoop(t *testing.T) {
+	const ranks = 5
+	const rounds = 20
+	w := NewWorld(ranks)
+	w.Run(func(c *Comm) {
+		for i := 0; i < rounds; i++ {
+			root := i % ranks
+			got := c.Bcast(root, []float64{float64(i)})
+			if got[0] != float64(i) {
+				t.Errorf("round %d Bcast = %v", i, got)
+				return
+			}
+			sum := c.Allreduce(OpSum, []float64{1})
+			if sum[0] != ranks {
+				t.Errorf("round %d Allreduce = %v", i, sum)
+				return
+			}
+			parts := c.Allgather([]float64{float64(c.Rank())})
+			for r, p := range parts {
+				if p[0] != float64(r) {
+					t.Errorf("round %d Allgather[%d] = %v", i, r, p)
+					return
+				}
+			}
+			c.Barrier()
+		}
+	})
+}
+
+// TestRaceStatsDuringTraffic: Stats() is read concurrently with sends in
+// flight; counters must be torn-read-safe (atomics), values only grow.
+func TestRaceStatsDuringTraffic(t *testing.T) {
+	const msgs = 200
+	w := NewWorld(2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := w.Stats()
+			if st.Messages < last {
+				t.Error("Messages went backwards")
+				return
+			}
+			last = st.Messages
+		}
+	}()
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				if i%2 == 0 {
+					c.Send(1, 0, []float64{1})
+				} else {
+					c.Isend(1, 0, []float64{1})
+				}
+			}
+		} else {
+			for i := 0; i < msgs; i++ {
+				c.Recv(0, 0)
+			}
+		}
+	})
+	close(stop)
+	wg.Wait()
+	if st := w.Stats(); st.Messages != msgs {
+		t.Fatalf("Messages = %d, want %d", st.Messages, msgs)
+	}
+}

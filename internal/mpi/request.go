@@ -1,0 +1,203 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Request is the completion handle of a non-blocking operation, the
+// analogue of MPI_Request. A send Request completes when the rank's NIC
+// has delivered the message; a receive Request completes when its message
+// has been matched and taken. Wait and Test are safe to call repeatedly;
+// after the first successful completion they return the cached result.
+//
+// Ordering: Isends issued by one rank are transmitted by a single
+// background NIC goroutine in issue order, so per-(source, tag) FIFO
+// delivery holds among Isends, and among blocking Sends — but not between
+// a blocking Send and a still-in-flight earlier Isend on the same stream.
+// Programs that mix both on one stream must Wait on the Isend first.
+type Request struct {
+	c    *Comm
+	send bool
+	peer int // dst for sends, src for receives
+	tag  int
+
+	// send completion
+	done chan struct{}
+
+	// receive resolution
+	mu     sync.Mutex
+	ticket uint64
+	got    bool
+	data   []float64
+}
+
+// nicItem is one queued outbound transfer.
+type nicItem struct {
+	dst, tag int
+	data     []float64
+	req      *Request
+}
+
+// nicQueue is a rank's outbound transfer queue, drained in order by one
+// background goroutine (the "NIC"): Isend never blocks the caller, and
+// any injected wire cost is paid off the compute path.
+type nicQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []nicItem
+	closed bool
+	done   chan struct{}
+}
+
+// startNIC lazily creates the rank's NIC queue and goroutine.
+func (c *Comm) startNIC() *nicQueue {
+	c.nicMu.Lock()
+	defer c.nicMu.Unlock()
+	if c.nic == nil {
+		q := &nicQueue{done: make(chan struct{})}
+		q.cond = sync.NewCond(&q.mu)
+		c.nic = q
+		go c.nicLoop(q)
+	}
+	return c.nic
+}
+
+func (c *Comm) nicLoop(q *nicQueue) {
+	defer close(q.done)
+	for {
+		q.mu.Lock()
+		for len(q.items) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.items) == 0 {
+			q.mu.Unlock()
+			return
+		}
+		it := q.items[0]
+		q.items = q.items[1:]
+		q.mu.Unlock()
+		// Transfer cost runs here, concurrent with the rank's compute;
+		// skip it when tearing down after a failure.
+		if d := c.world.wireDelay(len(it.data)); d > 0 && !c.world.aborted.Load() {
+			time.Sleep(d)
+		}
+		c.world.deliver(c.rank, it.dst, it.tag, it.data, true)
+		close(it.req.done)
+	}
+}
+
+// flushNIC drains outstanding Isends and stops the NIC goroutine; RunE
+// calls it when the rank function returns, so all issued messages are
+// counted in Stats even if the program never Waited on them.
+func (c *Comm) flushNIC() {
+	c.nicMu.Lock()
+	q := c.nic
+	c.nicMu.Unlock()
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+	<-q.done
+}
+
+// Isend starts a non-blocking send of a copy of data to dst and returns
+// its Request. The caller may reuse data immediately.
+func (c *Comm) Isend(dst, tag int, data []float64) *Request {
+	if tag < 0 {
+		panic("mpi: negative tags are reserved")
+	}
+	c.checkRank(dst)
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	req := &Request{c: c, send: true, peer: dst, tag: tag, done: make(chan struct{})}
+	q := c.startNIC()
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		panic("mpi: Isend after rank shutdown")
+	}
+	q.items = append(q.items, nicItem{dst: dst, tag: tag, data: buf, req: req})
+	q.mu.Unlock()
+	q.cond.Signal()
+	return req
+}
+
+// Irecv posts a non-blocking receive for (src, tag) and returns its
+// Request; the message is claimed at Wait or a successful Test. Posted
+// receives on one stream complete in posting order.
+func (c *Comm) Irecv(src, tag int) *Request {
+	if tag < 0 {
+		panic("mpi: negative tags are reserved")
+	}
+	c.checkRank(src)
+	k := streamKey{src, tag}
+	ticket := c.world.boxes[c.rank].reserve(k)
+	return &Request{c: c, peer: src, tag: tag, ticket: ticket}
+}
+
+// Wait blocks until the operation completes. For receives it returns the
+// payload; for sends it returns nil. Under a world watchdog a Wait stuck
+// longer than the timeout aborts with a diagnostic instead of hanging.
+func (r *Request) Wait() []float64 {
+	if r.send {
+		to := r.c.world.opts.Watchdog
+		if to <= 0 {
+			<-r.done
+			return nil
+		}
+		select {
+		case <-r.done:
+			return nil
+		case <-time.After(to):
+			panic(fmt.Sprintf("watchdog: rank %d blocked in Wait(Isend dst=%d, tag=%d) longer than %v", r.c.rank, r.peer, r.tag, to))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.got {
+		k := streamKey{r.peer, r.tag}
+		m := r.c.world.boxes[r.c.rank].takeTicket(k, r.ticket, r.c.world, r.c.rank, "Irecv.Wait")
+		r.data = m.Data
+		r.got = true
+	}
+	return r.data
+}
+
+// Test reports whether the operation has completed without blocking,
+// returning the payload for completed receives.
+func (r *Request) Test() ([]float64, bool) {
+	if r.send {
+		select {
+		case <-r.done:
+			return nil, true
+		default:
+			return nil, false
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.got {
+		return r.data, true
+	}
+	k := streamKey{r.peer, r.tag}
+	if m, ok := r.c.world.boxes[r.c.rank].tryTakeTicket(k, r.ticket); ok {
+		r.data = m.Data
+		r.got = true
+		return r.data, true
+	}
+	return nil, false
+}
+
+// Waitall completes every request; nil entries are skipped.
+func Waitall(reqs []*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}

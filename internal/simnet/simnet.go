@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"tilespace/internal/distrib"
 	"tilespace/internal/ilin"
+	"tilespace/internal/mpi"
 )
 
 // Params is the cluster cost model.
@@ -62,6 +64,24 @@ func FastEthernetPIII() Params {
 		SendOverhead: 30e-6,
 		RecvOverhead: 30e-6,
 		PackTime:     20e-9,
+	}
+}
+
+// NetOptions translates the cost model into the runtime's injected
+// wire-cost options, so the same parameters drive both the simulator and
+// the real executor (mpi.NewWorldOpts / exec.RunOptions.Net): each message
+// costs Latency + SendOverhead plus (ValueBytes/Bandwidth + PackTime) per
+// value. scale multiplies the modelled durations — the paper's µs-scale
+// costs sit below OS timer resolution, so measurements scale them up.
+// Whether the cost lands on the sending CPU (blocking) or the background
+// NIC (Isend) is the runtime's overlap decision, mirroring the Overlap
+// branch of Simulate.
+func (p Params) NetOptions(scale float64) mpi.Options {
+	perMsg := (p.Latency + p.SendOverhead) * scale
+	perVal := (float64(p.ValueBytes)/p.Bandwidth + p.PackTime) * scale
+	return mpi.Options{
+		LinkLatency: time.Duration(perMsg * float64(time.Second)),
+		PerValue:    time.Duration(perVal * float64(time.Second)),
 	}
 }
 

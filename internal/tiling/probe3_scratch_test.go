@@ -12,9 +12,13 @@ import (
 )
 
 func TestProbe3D(t *testing.T) {
+	target := 60
+	if testing.Short() {
+		target = 6
+	}
 	rng := rand.New(rand.NewSource(777))
 	trials := 0
-	for iter := 0; iter < 4000 && trials < 60; iter++ {
+	for iter := 0; iter < 4000 && trials < target; iter++ {
 		
 		n := 3
 		p := ilin.NewMat(n, n)
@@ -93,9 +97,13 @@ func TestProbe3D(t *testing.T) {
 // D^S completeness: brute-force tile offsets over the whole nest for legal
 // random tilings with deps, compare against computed DS (must be superset).
 func TestProbeTileDeps(t *testing.T) {
+	target := 80
+	if testing.Short() {
+		target = 10
+	}
 	rng := rand.New(rand.NewSource(99))
 	trials := 0
-	for iter := 0; iter < 6000 && trials < 80; iter++ {
+	for iter := 0; iter < 6000 && trials < target; iter++ {
 		n := 2
 		p := ilin.NewMat(n, n)
 		for i := 0; i < n; i++ {

@@ -11,10 +11,15 @@ import (
 )
 
 // Random integral-P transforms plus random convex spaces; cross-check
-// CountTilePoints/TileFullyInside/ScanTTIS against brute force.
+// CountTilePoints/TileFullyInside/ScanTTIS against brute force. The full
+// 300-trial sweep takes minutes; -short keeps a seed-stable slice of it.
 func TestProbeRandomized(t *testing.T) {
+	trials := 300
+	if testing.Short() {
+		trials = 20
+	}
 	rng := rand.New(rand.NewSource(12345))
-	for trial := 0; trial < 300; trial++ {
+	for trial := 0; trial < trials; trial++ {
 		n := 2
 		// Random P with nonzero det, entries in [-3,4]
 		p := ilin.NewMat(n, n)

@@ -320,9 +320,23 @@ func (p *Program) RunSequential() (*Result, error) {
 }
 
 // RunParallel executes the compiled data-parallel program: one runtime
-// rank per processor, running the paper's receive→compute→send protocol.
+// rank per processor, running the paper's receive→compute→send protocol
+// with blocking sends.
 func (p *Program) RunParallel() (*Result, error) {
-	g, stats, err := p.prog.RunParallel()
+	return p.RunParallelOpts(RunOptions{})
+}
+
+// RunOptions selects the parallel execution strategy (re-exported):
+// Overlap switches sends to non-blocking Isends drained at chain end, and
+// Net configures the runtime's deadlock watchdog and injected wire costs.
+type RunOptions = exec.RunOptions
+
+// NetOptions configures the runtime world (re-exported from mpi).
+type NetOptions = mpi.Options
+
+// RunParallelOpts is RunParallel with an explicit execution strategy.
+func (p *Program) RunParallelOpts(opt RunOptions) (*Result, error) {
+	g, stats, err := p.prog.RunParallelOpts(opt)
 	if err != nil {
 		return nil, err
 	}
