@@ -35,11 +35,12 @@ import (
 
 func main() {
 	var (
-		figFlag = flag.String("fig", "all", "figure to run: 5..10, all, or none (ablations only)")
-		scale   = flag.Int64("scale", 1, "shrink space dimensions by this factor (1 = paper scale)")
-		overlap = flag.Bool("overlap", false, "also run the computation-communication overlap ablation")
-		execAbl = flag.Bool("execablation", false, "run blocking vs overlapped communication in the real runtime and compare with the simulator's prediction")
-		outPath = flag.String("o", "", "also write the report to this file")
+		figFlag  = flag.String("fig", "all", "figure to run: 5..10, all, or none (ablations only)")
+		scale    = flag.Int64("scale", 1, "shrink space dimensions by this factor (1 = paper scale)")
+		overlap  = flag.Bool("overlap", false, "also run the computation-communication overlap ablation")
+		execAbl  = flag.Bool("execablation", false, "run blocking vs overlapped communication in the real runtime and compare with the simulator's prediction")
+		execPerf = flag.String("execbench", "", "measure the compiled-plan executor against the legacy per-point one and write the JSON snapshot to this path (e.g. BENCH_exec.json)")
+		outPath  = flag.String("o", "", "also write the report to this file")
 	)
 	flag.Parse()
 
@@ -115,6 +116,33 @@ func main() {
 
 	if *execAbl {
 		runExecAblation(out, par)
+	}
+
+	if *execPerf != "" {
+		runExecPerf(out, *execPerf)
+	}
+}
+
+// runExecPerf compares the compiled-plan executor against the legacy
+// per-point reference on the SOR workload (no injected costs — raw
+// executor throughput) and writes the JSON snapshot next to the report.
+func runExecPerf(out io.Writer, path string) {
+	// Large enough that per-point work dominates the fixed per-rank costs
+	// (goroutine spawn, channel setup) the two executors share.
+	perf, err := bench.RunExecPerf(10, 40, 5)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: execbench: %v\n", err)
+		return
+	}
+	fmt.Fprint(out, perf.Render())
+	fmt.Fprintln(out)
+	js, err := perf.JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: execbench: %v\n", err)
+		return
+	}
+	if err := os.WriteFile(path, js, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: execbench: %v\n", err)
 	}
 }
 

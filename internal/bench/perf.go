@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"tilespace/internal/apps"
+	"tilespace/internal/exec"
+	"tilespace/internal/tiling"
+)
+
+// ExecPerf measures the compiled-plan executor against the legacy
+// per-point reference on a full program run (all phases: receive, init,
+// compute, pack, send, write-back) with no injected costs, so the numbers
+// are pure executor overhead. It is the source of the committed
+// BENCH_exec.json snapshot and the EXPERIMENTS.md before/after table.
+type ExecPerf struct {
+	Workload string `json:"workload"`
+	Procs    int    `json:"procs"`
+	Tiles    int64  `json:"tiles"`
+	Points   int64  `json:"points"`
+	Rounds   int    `json:"rounds"`
+
+	// Best-of-rounds wall time of one full parallel run, in seconds.
+	LegacySeconds  float64 `json:"legacy_seconds"`
+	PlannedSeconds float64 `json:"planned_seconds"`
+
+	// Points per second through the whole pipeline.
+	LegacyPointsPerSec  float64 `json:"legacy_points_per_sec"`
+	PlannedPointsPerSec float64 `json:"planned_points_per_sec"`
+	Speedup             float64 `json:"speedup"`
+
+	// MaxDiff is the worst deviation between the two executors' global
+	// arrays; anything but 0 is a correctness bug.
+	MaxDiff float64 `json:"max_diff"`
+}
+
+// JSON renders the snapshot in the committed BENCH_exec.json format.
+func (p *ExecPerf) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Render formats the comparison as a report section.
+func (p *ExecPerf) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== executor perf: compiled tile plans vs legacy per-point addressing ==\n")
+	fmt.Fprintf(&b, "%s — %d procs, %d tiles, %d points, best of %d rounds\n",
+		p.Workload, p.Procs, p.Tiles, p.Points, p.Rounds)
+	fmt.Fprintf(&b, "%-10s %12s %16s\n", "", "wall", "points/s")
+	fmt.Fprintf(&b, "%-10s %11.3fms %16.0f\n", "legacy", p.LegacySeconds*1e3, p.LegacyPointsPerSec)
+	fmt.Fprintf(&b, "%-10s %11.3fms %16.0f\n", "planned", p.PlannedSeconds*1e3, p.PlannedPointsPerSec)
+	fmt.Fprintf(&b, "speedup %.2fx, diff %g\n", p.Speedup, p.MaxDiff)
+	return b.String()
+}
+
+// RunExecPerf builds the SOR workload on an M×N×N space under the paper's
+// non-rectangular tiling (the same schedule RunExecAblation uses), runs
+// both executors rounds times each, and reports the best wall time per
+// mode — best-of, not mean, because the comparison is about executor cost
+// and the OS scheduler only ever adds noise.
+func RunExecPerf(m, n int64, rounds int) (*ExecPerf, error) {
+	app, err := apps.SOR(m, n)
+	if err != nil {
+		return nil, err
+	}
+	h := app.NonRect[0].H(2, 4, 4)
+	ts, err := tiling.Analyze(app.Nest, h)
+	if err != nil {
+		return nil, err
+	}
+	p, err := exec.NewProgram(ts, app.MapDim, app.Width, app.Kernel, app.Initial)
+	if err != nil {
+		return nil, err
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	perf := &ExecPerf{
+		Workload: fmt.Sprintf("SOR M=%d N=%d, %s x=2 y=4 z=4", m, n, app.NonRect[0].Name),
+		Procs:    p.Dist.NumProcs(),
+		Tiles:    ts.NumTiles(),
+		Points:   ts.TotalPoints(),
+		Rounds:   rounds,
+	}
+
+	measure := func(opt exec.RunOptions) (*exec.Global, float64, error) {
+		var g *exec.Global
+		best := 0.0
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			out, _, err := p.RunParallelOpts(opt)
+			if err != nil {
+				return nil, 0, err
+			}
+			if el := time.Since(start).Seconds(); best == 0 || el < best {
+				best = el
+			}
+			g = out
+		}
+		return g, best, nil
+	}
+
+	gL, tL, err := measure(exec.RunOptions{Legacy: true})
+	if err != nil {
+		return nil, err
+	}
+	gP, tP, err := measure(exec.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	perf.LegacySeconds = tL
+	perf.PlannedSeconds = tP
+	perf.LegacyPointsPerSec = float64(perf.Points) / tL
+	perf.PlannedPointsPerSec = float64(perf.Points) / tP
+	perf.Speedup = tL / tP
+	perf.MaxDiff, _ = gL.MaxAbsDiff(gP, p.ScanSpace)
+	return perf, nil
+}

@@ -37,6 +37,36 @@ func (d *Distribution) Addresser(r int) *Addresser {
 // Size returns the number of LDS cells.
 func (a *Addresser) Size() int64 { return a.stride[0] * a.shape[0] }
 
+// ChainStep returns the flat-address increment per chain slot: because the
+// distribution validates c_m | v_m, Flat(j', t) = Flat(j', 0) + t·ChainStep
+// exactly — FloorDiv(t·v_m + x, c_m) = t·(v_m/c_m) + FloorDiv(x, c_m). The
+// same step applies to FlatRead (in t) and FlatUnpack (in tau). This is the
+// strength-reduction identity compiled tile plans replay addresses with.
+func (a *Addresser) ChainStep() int64 {
+	return (a.v[a.m] / a.c[a.m]) * a.stride[a.m]
+}
+
+// DirShift returns the constant flat-address shift that turns a pack
+// address into the matching unpack address for processor direction dmFull
+// (the full-dimensional direction with 0 at the mapping dimension):
+//
+//	FlatUnpack(p', dmFull, tau) = Flat(p', tau) + DirShift(dmFull)
+//
+// exactly, because c_k | v_k makes FloorDiv(p'_k − v_k·dm_k, c_k) =
+// FloorDiv(p'_k, c_k) − (v_k/c_k)·dm_k. Receivers replay the sender-order
+// run list shifted by this constant instead of evaluating FlatUnpack per
+// point.
+func (a *Addresser) DirShift(dmFull ilin.Vec) int64 {
+	var shift int64
+	for k := 0; k < a.n; k++ {
+		if k == a.m {
+			continue
+		}
+		shift -= (a.v[k] / a.c[k]) * dmFull[k] * a.stride[k]
+	}
+	return shift
+}
+
 // Flat returns Flatten(Map(j', t)): the flat cell of TTIS point j' in
 // chain slot t.
 func (a *Addresser) Flat(jp ilin.Vec, t int64) int64 {

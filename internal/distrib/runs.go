@@ -1,0 +1,42 @@
+package distrib
+
+import (
+	"tilespace/internal/ilin"
+)
+
+// Run is one maximal contiguous stretch of LDS cells inside a
+// communication region: N cells starting at flat address Off (cell units,
+// evaluated at chain slot 0 — add t·Addresser.ChainStep() to place it at
+// chain slot t, and Addresser.DirShift(dmFull) to turn a pack run into its
+// unpack counterpart).
+type Run struct {
+	Off int64
+	N   int64
+}
+
+// CommRuns walks the §3.2 communication region of tile s along processor
+// direction d^m once and returns it as maximal contiguous LDS runs in
+// region scan order, together with the total point count (fusing the
+// count-then-pack double walk the executor used to do). The innermost TTIS
+// dimension has stride 1 in the flat LDS by construction, so full-tile
+// regions collapse to a handful of runs; bulk copies over the runs replace
+// per-point address evaluation in both pack and unpack.
+func (d *Distribution) CommRuns(s, dm ilin.Vec, a *Addresser) ([]Run, int64) {
+	var (
+		runs  []Run
+		total int64
+		prev  int64 = -2 // never adjacent to a real first address
+	)
+	d.CommRegion(s, dm, func(z, jp ilin.Vec) bool {
+		flat := a.Flat(jp, 0)
+		if flat == prev+1 {
+			runs[len(runs)-1].N++
+		} else {
+			runs = append(runs, Run{Off: flat, N: 1})
+		}
+		prev = flat
+		total++
+		return true
+	})
+	return runs, total
+}

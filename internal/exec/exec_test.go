@@ -27,7 +27,7 @@ func zeroInit(j ilin.Vec, out []float64) {
 	}
 }
 
-func buildProgram(t *testing.T, nest *loopnest.Nest, h *ilin.RatMat, m int, width int, k Kernel, init Initial) *Program {
+func buildProgram(t testing.TB, nest *loopnest.Nest, h *ilin.RatMat, m int, width int, k Kernel, init Initial) *Program {
 	t.Helper()
 	ts, err := tiling.Analyze(nest, h)
 	if err != nil {
@@ -115,7 +115,7 @@ func TestParallelNonZeroInitial(t *testing.T) {
 
 // sorNest builds the skewed SOR nest of §4.1 on a small space by skewing
 // the rectangular original with T = [[1,0,0],[1,1,0],[2,0,1]].
-func sorNest(t *testing.T, m, n int64) *loopnest.Nest {
+func sorNest(t testing.TB, m, n int64) *loopnest.Nest {
 	t.Helper()
 	orig := loopnest.MustBox([]string{"t", "i", "j"}, []int64{1, 1, 1}, []int64{m, n, n},
 		ilin.MatFromRows(

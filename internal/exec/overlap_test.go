@@ -116,10 +116,16 @@ func TestOverlapInjectedCostFasterThanBlocking(t *testing.T) {
 		ilin.MatFromRows([]int64{1, 0}, []int64{0, 1}))
 	tr, _ := tiling.Rectangular(5, 4)
 	p := buildProgram(t, nest, tr.H, 0, 1, sumKernel, zeroInit)
+	// Inject both wire cost and per-point compute cost: overlap's win is
+	// transfer hidden behind the next tile's compute, so with zero compute
+	// the two modes tie (modulo scheduler noise) and the comparison is
+	// meaningless. Each tile has 20 points → 2ms compute per tile, the same
+	// scale as the 2ms transfer it must hide.
 	net := mpi.Options{LinkLatency: 2 * time.Millisecond}
 	run := func(overlap bool) time.Duration {
 		start := time.Now()
-		if _, _, err := p.RunParallelOpts(RunOptions{Overlap: overlap, Net: net}); err != nil {
+		opts := RunOptions{Overlap: overlap, Net: net, PointDelay: 100 * time.Microsecond}
+		if _, _, err := p.RunParallelOpts(opts); err != nil {
 			t.Fatal(err)
 		}
 		return time.Since(start)

@@ -1,0 +1,141 @@
+package exec
+
+import (
+	"fmt"
+
+	"tilespace/internal/ilin"
+)
+
+// This file holds the dynamic half of the compiled communication path:
+// run-based pack/unpack (bulk copies over the plan's contiguous LDS runs)
+// and the message-buffer pool. The pool plus ownership-transfer sends
+// (mpi.SendOwned/IsendOwned) close the allocation loop: a sender packs
+// into a pooled buffer, ownership rides the message to the receiver, and
+// the receiver recycles the unpacked buffer into its own pool for its next
+// send. Buffers circulate around the processor ring, so steady-state
+// execution allocates nothing per tile.
+
+// maxPoolBufs bounds the freelist; a rank rarely holds more live buffers
+// than it has processor directions, but unbalanced chains can briefly
+// accumulate extras.
+const maxPoolBufs = 32
+
+// bufPool is a per-rank freelist of message buffers. Not safe for
+// concurrent use: each rank owns exactly one.
+type bufPool struct {
+	free [][]float64
+}
+
+// get returns a length-n buffer, reusing the freelist when a large enough
+// buffer is available.
+func (p *bufPool) get(n int) []float64 {
+	for i := len(p.free) - 1; i >= 0; i-- {
+		if cap(p.free[i]) >= n {
+			b := p.free[i][:n]
+			last := len(p.free) - 1
+			p.free[i] = p.free[last]
+			p.free[last] = nil
+			p.free = p.free[:last]
+			return b
+		}
+	}
+	return make([]float64, n)
+}
+
+// put recycles a buffer the rank owns (a packed buffer after a copying
+// Send, or a received message after unpacking).
+func (p *bufPool) put(b []float64) {
+	if cap(b) == 0 || len(p.free) >= maxPoolBufs {
+		return
+	}
+	p.free = append(p.free, b)
+}
+
+// sendPhasePlanned is the compiled SEND: for each processor direction the
+// plan's run list turns packing into a few bulk copies, and the packed
+// buffer leaves via an ownership-transfer send, to be recycled by the
+// receiver. Message order, tags and sizes are identical to the legacy
+// sendPhase, so mpi.Stats match bit for bit.
+func (st *rankState) sendPhasePlanned(tile ilin.Vec, pl *tilePlan, t int64) error {
+	d := st.p.Dist
+	w := st.p.Width
+	st.reapPending()
+	tOff := t * st.chainStep
+	for i, dm := range d.DM {
+		if !d.HasSuccessor(tile, dm) {
+			continue
+		}
+		dir := &pl.dirs[i]
+		if dir.total == 0 {
+			continue
+		}
+		if st.sendRank[i] < 0 {
+			return fmt.Errorf("exec: successor pid of tile %v along %v has no rank", tile, dm)
+		}
+		buf := st.pool.get(int(dir.total) * w)
+		pos := 0
+		for _, run := range dir.runs {
+			cell := (run.Off + tOff) * int64(w)
+			nn := int(run.N) * w
+			copy(buf[pos:pos+nn], st.la[cell:cell+int64(nn)])
+			pos += nn
+		}
+		if st.overlap {
+			req := st.c.IsendOwned(st.sendRank[i], i, buf)
+			req.OnComplete(st.noteFn)
+			st.pending = append(st.pending, req)
+		} else {
+			st.c.SendOwned(st.sendRank[i], i, buf)
+		}
+	}
+	return nil
+}
+
+// receivePhasePlanned is the compiled RECEIVE: the predecessor tile's
+// shape is compiled (or fetched) with this rank's addresser, and its run
+// list is replayed shifted by the constant pack→unpack offset
+// (Addresser.DirShift) plus the predecessor's chain slot — contiguity in
+// pack space is contiguity in unpack space, so unpacking is the same few
+// bulk copies. The unpacked buffer joins this rank's pool.
+func (st *rankState) receivePhasePlanned(tile ilin.Vec, t int64) error {
+	d := st.p.Dist
+	w := st.p.Width
+	for _, si := range st.dsOrder {
+		di := st.dsDmIdx[si]
+		if di < 0 {
+			continue // same-processor dependence: data is already in the LDS
+		}
+		dS := st.p.TS.DS[si]
+		dm := d.DM[di]
+		pred := tile.Sub(dS)
+		if !st.p.TS.ValidTile(pred) {
+			continue
+		}
+		if ms, ok := d.MinSucc(pred, dm); !ok || !ms.Equal(tile) {
+			continue
+		}
+		predPlan := st.planFor(pred)
+		dir := &predPlan.dirs[di]
+		if dir.total == 0 {
+			continue
+		}
+		srcRank := st.recvRank[di]
+		if srcRank < 0 {
+			return fmt.Errorf("exec: predecessor tile %v has no rank", pred)
+		}
+		buf := st.c.Recv(srcRank, di)
+		if int64(len(buf)) != dir.total*int64(w) {
+			return fmt.Errorf("exec: rank %d tile %v: message from rank %d tag %d has %d values, expected %d", st.rank, tile, srcRank, di, len(buf), dir.total*int64(w))
+		}
+		base := (pred[d.M]-d.ChainStart[st.rank])*st.chainStep + st.dirShift[di]
+		pos := 0
+		for _, run := range dir.runs {
+			cell := (run.Off + base) * int64(w)
+			nn := int(run.N) * w
+			copy(st.la[cell:cell+int64(nn)], buf[pos:pos+nn])
+			pos += nn
+		}
+		st.pool.put(buf)
+	}
+	return nil
+}

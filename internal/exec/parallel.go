@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"tilespace/internal/distrib"
 	"tilespace/internal/ilin"
 	"tilespace/internal/mpi"
 )
@@ -18,7 +20,7 @@ type RunOptions struct {
 	// requests at the end of its chain — the computation–communication
 	// overlapping scheme of the paper's §6 (its ref. [8]), the same mode
 	// simnet.Params.Overlap models. Results are bit-identical to the
-	// blocking mode because Isend snapshots the packed buffer.
+	// blocking mode.
 	Overlap bool
 	// Net configures the runtime world: the deadlock watchdog and the
 	// injected wire-cost model (see mpi.Options). The zero value means no
@@ -31,6 +33,13 @@ type RunOptions struct {
 	// communication-bound; with it, compute–communication overlap is
 	// measurable at the modelled ratio. Zero injects nothing.
 	PointDelay time.Duration
+	// Legacy disables the compiled tile plans and runs the reference
+	// executor: per-point Addresser evaluation (FloorDiv per dimension per
+	// read) and per-point region walks for pack and unpack. Results are
+	// bit-identical to the planned executor — the differential tests under
+	// exec assert this for every app — so the flag exists for those tests
+	// and for before/after benchmarking, not for production use.
+	Legacy bool
 }
 
 // RunParallel executes the program as the paper's generated data-parallel
@@ -86,56 +95,121 @@ type rankState struct {
 	rank int
 
 	la   []float64 // the LDS backing array, Width values per cell
-	addr addrIface
+	addr *distrib.Addresser
 
-	deps   []ilin.Vec // original dependence vectors d_l
-	dps    []ilin.Vec // transformed d'_l
-	dmTags map[string]int
+	deps []ilin.Vec // original dependence vectors d_l
+	dps  []ilin.Vec // transformed d'_l
 
-	tileCounts map[string]int64 // cache for interior-tile detection
+	// Communication tables, constant over the whole chain (hoisted out of
+	// the per-tile phases): for each processor-direction index i into
+	// Dist.DM, sendRank[i]/recvRank[i] is the rank of pid ± DM[i] (−1 when
+	// unmapped), dmFulls[i] is the direction with the mapping dimension
+	// re-inserted, and dirShift[i] is the constant pack→unpack flat-address
+	// shift (Addresser.DirShift). dsOrder lists tile-dependence indices in
+	// receive-processing order; dsDmIdx maps each to its DM index (−1 for
+	// the intra-processor direction). The DM index doubles as the message
+	// tag, exactly as in the reference executor.
+	sendRank []int
+	recvRank []int
+	dmFulls  []ilin.Vec
+	dirShift []int64
+	dsOrder  []int
+	dsDmIdx  []int
 
+	// Compiled-plan state (nil/unused when legacy).
+	plans     *planCache
+	tilePlans []*tilePlan // plan of each chain slot, for writeBack
+	chainStep int64       // flat-address step per chain slot
+	pBase     ilin.Vec    // P·j^S of the current tile
+	jBuf      ilin.Vec    // reused global iteration point
+	srcBuf    ilin.Vec    // reused dependence source point
+	initBuf   []float64   // reused Initial value buffer
+	reads     [][]float64 // reused kernel read views
+	predBuf   ilin.Vec    // reused predecessor tile coordinate
+
+	pool bufPool // recycled message buffers
+
+	tileCounts map[int64]int64 // interior-tile detection cache
+	tileIdx    ilin.BoxIndexer // perfect tile-coordinate key for it
+
+	legacy     bool
 	overlap    bool
 	pointDelay time.Duration
-	pending    []*mpi.Request // in-flight Isends, drained at chain end
+
+	// In-flight Isends in issue order. The NIC delivers them FIFO and
+	// noteSendDone counts completions from its goroutine, so reapPending
+	// can drop the completed prefix without blocking; Waitall at chain end
+	// drains the rest.
+	pending   []*mpi.Request
+	sendsDone atomic.Int64
+	reaped    int
+	noteFn    func()
 }
 
-// addrIface narrows the distrib.Addresser surface used here (helps tests
-// substitute instrumented addressers).
-type addrIface interface {
-	Flat(jp ilin.Vec, t int64) int64
-	FlatRead(jp, dp ilin.Vec, t int64) int64
-	FlatUnpack(pp ilin.Vec, dmFull ilin.Vec, tau int64) int64
-	Size() int64
-}
-
-func (p *Program) runRank(c *mpi.Comm, g *Global, opt RunOptions) error {
-	r := c.Rank()
+// newRankState builds a rank's executor state: LDS, dependence tables,
+// communication tables and (unless legacy) the plan cache. c may be nil
+// for tests and benchmarks that drive individual phases directly.
+func newRankState(p *Program, c *mpi.Comm, r int, opt RunOptions) *rankState {
+	d := p.Dist
+	n := p.TS.T.N
 	st := &rankState{
 		p: p, c: c, rank: r,
-		addr:       p.Dist.Addresser(r),
-		dmTags:     map[string]int{},
-		tileCounts: map[string]int64{},
+		addr:       d.Addresser(r),
+		tileCounts: map[int64]int64{},
+		tileIdx:    ilin.NewBoxIndexer(p.TS.TileLo, p.TS.TileHi),
+		legacy:     opt.Legacy,
 		overlap:    opt.Overlap,
 		pointDelay: opt.PointDelay,
 	}
+	st.noteFn = st.noteSendDone
 	st.la = make([]float64, st.addr.Size()*int64(p.Width))
 	q := p.TS.Nest.Q()
 	for l := 0; l < q; l++ {
 		st.deps = append(st.deps, p.TS.Nest.Dep(l))
 		st.dps = append(st.dps, p.TS.DP.Col(l))
 	}
-	for i, dm := range p.Dist.DM {
-		st.dmTags[dm.String()] = i
+	st.reads = make([][]float64, q)
+	st.initBuf = make([]float64, p.Width)
+	st.jBuf = make(ilin.Vec, n)
+	st.srcBuf = make(ilin.Vec, n)
+	st.pBase = make(ilin.Vec, n)
+	st.predBuf = make(ilin.Vec, n)
+	st.buildCommTables()
+	if !st.legacy {
+		st.plans = newPlanCache()
+		st.tilePlans = make([]*tilePlan, d.ChainLen[r])
+		st.chainStep = st.addr.ChainStep()
 	}
+	return st
+}
 
-	for t := int64(0); t < p.Dist.ChainLen[r]; t++ {
-		tile := p.Dist.TileAt(r, t)
-		if err := st.receivePhase(tile, t); err != nil {
+func (p *Program) runRank(c *mpi.Comm, g *Global, opt RunOptions) error {
+	r := c.Rank()
+	d := p.Dist
+	st := newRankState(p, c, r, opt)
+
+	for t := int64(0); t < d.ChainLen[r]; t++ {
+		tile := d.TileAt(r, t)
+		if st.legacy {
+			if err := st.receivePhase(tile, t); err != nil {
+				return err
+			}
+			st.initPhase(tile, t)
+			st.computePhase(tile, t)
+			if err := st.sendPhase(tile); err != nil {
+				return err
+			}
+			continue
+		}
+		pl := st.planFor(tile)
+		st.tilePlans[t] = pl
+		if err := st.receivePhasePlanned(tile, t); err != nil {
 			return err
 		}
-		st.initPhase(tile, t)
-		st.computePhase(tile, t)
-		if err := st.sendPhase(tile); err != nil {
+		mulVecInto(st.pBase, p.TS.T.P, tile)
+		st.initPhasePlanned(pl, tile, t)
+		st.computePhasePlanned(pl, t)
+		if err := st.sendPhasePlanned(tile, pl, t); err != nil {
 			return err
 		}
 	}
@@ -145,6 +219,56 @@ func (p *Program) runRank(c *mpi.Comm, g *Global, opt RunOptions) error {
 	mpi.Waitall(st.pending)
 	st.writeBack(g)
 	return nil
+}
+
+// buildCommTables precomputes the per-rank communication tables; the
+// reference executor recomputed all of them (PidOf, Rank, dm.String map
+// lookups, the DS sort) once per tile per direction.
+func (st *rankState) buildCommTables() {
+	d := st.p.Dist
+	pid := d.Pids[st.rank]
+	nd := len(d.DM)
+	st.sendRank = make([]int, nd)
+	st.recvRank = make([]int, nd)
+	st.dmFulls = make([]ilin.Vec, nd)
+	st.dirShift = make([]int64, nd)
+	for i, dm := range d.DM {
+		st.sendRank[i] = -1
+		if r, ok := d.Rank(pid.Add(dm)); ok {
+			st.sendRank[i] = r
+		}
+		st.recvRank[i] = -1
+		if r, ok := d.Rank(pid.Sub(dm)); ok {
+			st.recvRank[i] = r
+		}
+		st.dmFulls[i] = st.dmFull(dm)
+		st.dirShift[i] = st.addr.DirShift(st.dmFulls[i])
+	}
+	// Two tile dependencies with the same d^m but different m-components
+	// deliver on one FIFO stream and can target the same receiving tile;
+	// the sender emits the lower-m predecessor's message first, so process
+	// receives in descending d^S_m (= ascending predecessor m) order.
+	st.dsOrder = make([]int, len(st.p.TS.DS))
+	for i := range st.dsOrder {
+		st.dsOrder[i] = i
+	}
+	sort.SliceStable(st.dsOrder, func(a, b int) bool {
+		return st.p.TS.DS[st.dsOrder[a]][d.M] > st.p.TS.DS[st.dsOrder[b]][d.M]
+	})
+	st.dsDmIdx = make([]int, len(st.p.TS.DS))
+	for i, dS := range st.p.TS.DS {
+		st.dsDmIdx[i] = -1
+		dm := d.DmOf(dS)
+		if dm.IsZero() {
+			continue
+		}
+		for k, v := range d.DM {
+			if v.Equal(dm) {
+				st.dsDmIdx[i] = k
+				break
+			}
+		}
+	}
 }
 
 // commRegion delegates to the shared distrib.CommRegion (§3.2 pack/unpack
@@ -164,27 +288,55 @@ func (st *rankState) dmFull(dm ilin.Vec) ilin.Vec {
 	return append(out, dm[m:]...)
 }
 
+// subInto computes dst = a − b without allocating.
+func subInto(dst, a, b ilin.Vec) {
+	for k := range dst {
+		dst[k] = a[k] - b[k]
+	}
+}
+
+// chargePointDelay injects the modelled per-point CPU cost.
+func (st *rankState) chargePointDelay(pts int64) {
+	if st.pointDelay > 0 {
+		time.Sleep(time.Duration(pts) * st.pointDelay)
+	}
+}
+
+// noteSendDone runs on the NIC goroutine, in issue order, once per
+// completed Isend (registered via Request.OnComplete).
+func (st *rankState) noteSendDone() { st.sendsDone.Add(1) }
+
+// reapPending drops the completed prefix of the in-flight Isend list. The
+// NIC completes requests in issue order, so the completion count alone
+// identifies how many leading entries are done — no per-request Test.
+func (st *rankState) reapPending() {
+	done := int(st.sendsDone.Load()) - st.reaped
+	if done <= 0 {
+		return
+	}
+	if done > len(st.pending) {
+		done = len(st.pending)
+	}
+	st.pending = st.pending[:copy(st.pending, st.pending[done:])]
+	st.reaped += done
+}
+
 // receivePhase implements the paper's RECEIVE: for every tile dependence
 // d^S whose predecessor is valid and for which this tile is the
 // lexicographically minimum successor along d^m(d^S), receive one message
-// from processor pid − d^m and unpack it into the LDS.
+// from processor pid − d^m and unpack it into the LDS. This is the legacy
+// per-point path; the message sizing uses the closed-form
+// CommRegionCount, so only the unpack itself walks the region.
 func (st *rankState) receivePhase(tile ilin.Vec, t int64) error {
 	d := st.p.Dist
 	w := st.p.Width
-	// Two tile dependencies with the same d^m but different m-components
-	// deliver on one FIFO stream and can target the same receiving tile;
-	// the sender emits the lower-m predecessor's message first, so process
-	// receives in descending d^S_m (= ascending predecessor m) order.
-	order := make([]ilin.Vec, len(st.p.TS.DS))
-	copy(order, st.p.TS.DS)
-	sort.SliceStable(order, func(i, j int) bool {
-		return order[i][d.M] > order[j][d.M]
-	})
-	for _, dS := range order {
-		dm := d.DmOf(dS)
-		if dm.IsZero() {
+	for _, si := range st.dsOrder {
+		di := st.dsDmIdx[si]
+		if di < 0 {
 			continue // same-processor dependence: data is already in the LDS
 		}
+		dS := st.p.TS.DS[si]
+		dm := d.DM[di]
 		pred := tile.Sub(dS)
 		if !st.p.TS.ValidTile(pred) {
 			continue
@@ -192,21 +344,20 @@ func (st *rankState) receivePhase(tile ilin.Vec, t int64) error {
 		if ms, ok := d.MinSucc(pred, dm); !ok || !ms.Equal(tile) {
 			continue
 		}
-		n := st.commRegion(pred, dm, nil)
+		n := d.CommRegionCount(pred, dm)
 		if n == 0 {
 			continue
 		}
-		srcRank, ok := d.Rank(d.PidOf(pred))
-		if !ok {
+		srcRank := st.recvRank[di]
+		if srcRank < 0 {
 			return fmt.Errorf("exec: predecessor tile %v has no rank", pred)
 		}
-		tag := st.dmTags[dm.String()]
-		buf := st.c.Recv(srcRank, tag)
+		buf := st.c.Recv(srcRank, di)
 		if int64(len(buf)) != n*int64(w) {
-			return fmt.Errorf("exec: rank %d tile %v: message from rank %d tag %d has %d values, expected %d", st.rank, tile, srcRank, tag, len(buf), n*int64(w))
+			return fmt.Errorf("exec: rank %d tile %v: message from rank %d tag %d has %d values, expected %d", st.rank, tile, srcRank, di, len(buf), n*int64(w))
 		}
 		tau := pred[d.M] - d.ChainStart[st.rank]
-		dmF := st.dmFull(dm)
+		dmF := st.dmFulls[di]
 		i := 0
 		st.commRegion(pred, dm, func(z, pp ilin.Vec) bool {
 			cell := st.addr.FlatUnpack(pp, dmF, tau) * int64(w)
@@ -214,6 +365,7 @@ func (st *rankState) receivePhase(tile ilin.Vec, t int64) error {
 			i += w
 			return true
 		})
+		st.pool.put(buf)
 	}
 	return nil
 }
@@ -222,29 +374,36 @@ func (st *rankState) receivePhase(tile ilin.Vec, t int64) error {
 // resolves inside the iteration space, so the Initial injection can be
 // skipped: the tile and all its D^S predecessors must be full.
 func (st *rankState) interiorTile(tile ilin.Vec) bool {
-	full := func(s ilin.Vec) bool {
-		key := s.String()
-		cnt, ok := st.tileCounts[key]
-		if !ok {
-			cnt = st.p.TS.TilePointCount(s)
-			st.tileCounts[key] = cnt
-		}
-		return cnt == st.p.TS.T.TileSize
-	}
-	if !full(tile) {
+	if !st.tileFull(tile) {
 		return false
 	}
 	for _, dS := range st.p.TS.DS {
-		pred := tile.Sub(dS)
-		if !st.p.TS.ValidTile(pred) || !full(pred) {
+		subInto(st.predBuf, tile, dS)
+		if !st.p.TS.ValidTile(st.predBuf) || !st.tileFull(st.predBuf) {
 			return false
 		}
 	}
 	return true
 }
 
+// tileFull reports whether tile s contains all TileSize lattice points,
+// caching counts under the perfect BoxIndexer key (the reference executor
+// keyed this cache by Vec.String, allocating per probe).
+func (st *rankState) tileFull(s ilin.Vec) bool {
+	key, ok := st.tileIdx.Index(s)
+	if !ok {
+		return false
+	}
+	cnt, ok := st.tileCounts[key]
+	if !ok {
+		cnt = st.p.TS.CountTilePoints(s, nil)
+		st.tileCounts[key] = cnt
+	}
+	return cnt == st.p.TS.T.TileSize
+}
+
 // initPhase injects Initial values for reads that fall outside the
-// iteration space (boundary tiles only).
+// iteration space (boundary tiles only). Legacy per-point path.
 func (st *rankState) initPhase(tile ilin.Vec, t int64) {
 	if st.interiorTile(tile) {
 		return
@@ -271,11 +430,13 @@ func (st *rankState) initPhase(tile ilin.Vec, t int64) {
 }
 
 // computePhase sweeps the tile's lattice points, reading each dependence
-// through map(j'−d', t) and writing the result at map(j', t).
+// through map(j'−d', t) and writing the result at map(j', t). Legacy
+// per-point path: every address goes through the Addresser's FloorDiv
+// condensation.
 func (st *rankState) computePhase(tile ilin.Vec, t int64) {
 	w := st.p.Width
 	q := len(st.deps)
-	reads := make([][]float64, q)
+	reads := st.reads
 	var pts int64
 	st.p.TS.ScanTilePoints(tile, func(z, jp ilin.Vec) bool {
 		for l := 0; l < q; l++ {
@@ -288,53 +449,75 @@ func (st *rankState) computePhase(tile ilin.Vec, t int64) {
 		pts++
 		return true
 	})
-	if st.pointDelay > 0 {
-		time.Sleep(time.Duration(pts) * st.pointDelay)
-	}
+	st.chargePointDelay(pts)
 }
 
 // sendPhase implements the paper's SEND: one message per processor
 // direction d^m with at least one valid successor tile, packing this
-// tile's communication region. In overlap mode the packed buffer goes out
-// as an Isend (the pack itself must still happen now — the LDS cells are
-// reused by later tiles) and the rank advances without waiting.
+// tile's communication region. Legacy path: the message is sized with the
+// closed-form CommRegionCount and packed point by point into a pooled
+// buffer; Send/Isend snapshot it, so the buffer returns to the pool
+// immediately. In overlap mode the rank advances without waiting.
 func (st *rankState) sendPhase(tile ilin.Vec) error {
 	d := st.p.Dist
 	w := st.p.Width
 	t := tile[d.M] - d.ChainStart[st.rank]
+	st.reapPending()
 	for i, dm := range d.DM {
 		if !d.HasSuccessor(tile, dm) {
 			continue
 		}
-		n := st.commRegion(tile, dm, nil)
+		n := d.CommRegionCount(tile, dm)
 		if n == 0 {
 			continue
 		}
-		dstPid := d.PidOf(tile).Add(dm)
-		dstRank, ok := d.Rank(dstPid)
-		if !ok {
-			return fmt.Errorf("exec: successor pid %v of tile %v has no rank", dstPid, tile)
+		if st.sendRank[i] < 0 {
+			return fmt.Errorf("exec: successor pid of tile %v along %v has no rank", tile, dm)
 		}
-		buf := make([]float64, 0, n*int64(w))
+		buf := st.pool.get(int(n) * w)
+		pos := 0
 		st.commRegion(tile, dm, func(z, jp ilin.Vec) bool {
 			cell := st.addr.Flat(jp, t) * int64(w)
-			buf = append(buf, st.la[cell:cell+int64(w)]...)
+			copy(buf[pos:pos+w], st.la[cell:cell+int64(w)])
+			pos += w
 			return true
 		})
 		if st.overlap {
-			st.pending = append(st.pending, st.c.Isend(dstRank, i, buf))
+			req := st.c.Isend(st.sendRank[i], i, buf)
+			req.OnComplete(st.noteFn)
+			st.pending = append(st.pending, req)
 		} else {
-			st.c.Send(dstRank, i, buf)
+			st.c.Send(st.sendRank[i], i, buf)
 		}
+		st.pool.put(buf)
 	}
 	return nil
 }
 
 // writeBack copies this rank's computed values to the global data space
 // via the computer-owns rule. Ranks own disjoint iteration points, so the
-// concurrent writes touch disjoint memory.
+// concurrent writes touch disjoint memory. The planned path replays each
+// chain slot's stored offset table; the legacy path re-derives every
+// address.
 func (st *rankState) writeBack(g *Global) {
 	w := st.p.Width
+	if st.tilePlans != nil {
+		n := st.p.TS.T.N
+		for t, pl := range st.tilePlans {
+			tile := st.p.Dist.TileAt(st.rank, int64(t))
+			mulVecInto(st.pBase, st.p.TS.T.P, tile)
+			tOff := int64(t) * st.chainStep
+			for i := 0; i < pl.npts; i++ {
+				uz := pl.uz[i*n : i*n+n]
+				for k := 0; k < n; k++ {
+					st.jBuf[k] = st.pBase[k] + uz[k]
+				}
+				cell := (pl.writeOff[i] + tOff) * int64(w)
+				g.Set(st.jBuf, st.la[cell:cell+int64(w)])
+			}
+		}
+		return
+	}
 	for t := int64(0); t < st.p.Dist.ChainLen[st.rank]; t++ {
 		tile := st.p.Dist.TileAt(st.rank, t)
 		st.p.TS.ScanTilePoints(tile, func(z, jp ilin.Vec) bool {

@@ -1,0 +1,76 @@
+package ilin
+
+import "testing"
+
+func TestVecHashDistinguishes(t *testing.T) {
+	a := NewVec(1, 2, 3)
+	b := NewVec(1, 2, 4)
+	c := NewVec(3, 2, 1)
+	if VecHash(a) == VecHash(b) || VecHash(a) == VecHash(c) {
+		t.Fatalf("hash collision among trivially distinct vectors")
+	}
+	if VecHash(a) != VecHash(NewVec(1, 2, 3)) {
+		t.Fatalf("hash not deterministic")
+	}
+	// Length is part of the identity: a prefix must not alias.
+	if VecHash(NewVec(1, 2)) == VecHash(NewVec(1, 2, 0)) {
+		t.Fatalf("prefix aliases its zero-extension")
+	}
+}
+
+func TestVecHashZeroAlloc(t *testing.T) {
+	v := NewVec(7, -3, 12345678901)
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = VecHash(v)
+	})
+	if allocs != 0 {
+		t.Fatalf("VecHash allocates %v per call", allocs)
+	}
+}
+
+func TestBoxIndexerPerfect(t *testing.T) {
+	lo := NewVec(-2, 3, 0)
+	hi := NewVec(1, 5, 2)
+	bi := NewBoxIndexer(lo, hi)
+	want := (1 - -2 + 1) * (5 - 3 + 1) * (2 - 0 + 1)
+	if bi.Size() != int64(want) {
+		t.Fatalf("Size = %d, want %d", bi.Size(), want)
+	}
+	seen := map[int64]bool{}
+	v := make(Vec, 3)
+	for a := lo[0]; a <= hi[0]; a++ {
+		for b := lo[1]; b <= hi[1]; b++ {
+			for c := lo[2]; c <= hi[2]; c++ {
+				v[0], v[1], v[2] = a, b, c
+				idx, ok := bi.Index(v)
+				if !ok {
+					t.Fatalf("in-box vector %v rejected", v)
+				}
+				if idx < 0 || idx >= bi.Size() {
+					t.Fatalf("index %d of %v outside [0, %d)", idx, v, bi.Size())
+				}
+				if seen[idx] {
+					t.Fatalf("index %d assigned twice (at %v)", idx, v)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+	if _, ok := bi.Index(NewVec(2, 3, 0)); ok {
+		t.Fatalf("out-of-box vector accepted")
+	}
+	if _, ok := bi.Index(NewVec(-2, 3, -1)); ok {
+		t.Fatalf("out-of-box vector accepted")
+	}
+}
+
+func TestBoxIndexerZeroAlloc(t *testing.T) {
+	bi := NewBoxIndexer(NewVec(0, 0), NewVec(9, 9))
+	v := NewVec(4, 7)
+	allocs := testing.AllocsPerRun(100, func() {
+		_, _ = bi.Index(v)
+	})
+	if allocs != 0 {
+		t.Fatalf("BoxIndexer.Index allocates %v per call", allocs)
+	}
+}

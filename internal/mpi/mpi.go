@@ -387,6 +387,23 @@ func (c *Comm) send(dst, tag int, data []float64) {
 	c.world.deliver(c.rank, dst, tag, buf, false)
 }
 
+// SendOwned is Send without the snapshot copy: ownership of data
+// transfers through the runtime to the receiver, whose Recv returns the
+// very same slice. The caller must not touch data after the call. Pooled
+// executors use this to make steady-state communication allocation-free:
+// the receiver unpacks the buffer and recycles it into its own send pool.
+// Envelope semantics, ordering and Stats are identical to Send.
+func (c *Comm) SendOwned(dst, tag int, data []float64) {
+	if tag < 0 {
+		panic("mpi: negative tags are reserved")
+	}
+	c.checkRank(dst)
+	if d := c.world.wireDelay(len(data)); d > 0 && !c.world.aborted.Load() {
+		time.Sleep(d)
+	}
+	c.world.deliver(c.rank, dst, tag, data, false)
+}
+
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload. Messages on one (src, tag) stream arrive in send
 // order; interleaved Recv/Irecv on one stream complete in posting order.

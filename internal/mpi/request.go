@@ -26,11 +26,51 @@ type Request struct {
 	// send completion
 	done chan struct{}
 
-	// receive resolution
-	mu     sync.Mutex
-	ticket uint64
-	got    bool
-	data   []float64
+	// receive resolution: resolveMu serializes concurrent Wait/Test claims
+	// of the ticket; mu guards the published result and completion hooks.
+	resolveMu sync.Mutex
+	mu        sync.Mutex
+	ticket    uint64
+	got       bool
+	data      []float64
+
+	// completion hooks (see OnComplete)
+	fired bool
+	cbs   []func()
+}
+
+// OnComplete registers fn to run exactly once when the request completes:
+// for sends, right after the NIC delivers the message (fn runs on the NIC
+// goroutine); for receives, when the message is claimed by Wait or a
+// successful Test (fn runs on the caller). A request that is already
+// complete runs fn immediately. This is the buffer-recycling hook pooled
+// executors use to reap in-flight Isends without blocking in Wait.
+func (r *Request) OnComplete(fn func()) {
+	r.mu.Lock()
+	if r.fired {
+		r.mu.Unlock()
+		fn()
+		return
+	}
+	r.cbs = append(r.cbs, fn)
+	r.mu.Unlock()
+}
+
+// fireComplete runs and clears the registered completion callbacks;
+// subsequent OnComplete calls run immediately.
+func (r *Request) fireComplete() {
+	r.mu.Lock()
+	if r.fired {
+		r.mu.Unlock()
+		return
+	}
+	r.fired = true
+	cbs := r.cbs
+	r.cbs = nil
+	r.mu.Unlock()
+	for _, fn := range cbs {
+		fn()
+	}
 }
 
 // nicItem is one queued outbound transfer.
@@ -85,6 +125,7 @@ func (c *Comm) nicLoop(q *nicQueue) {
 		}
 		c.world.deliver(c.rank, it.dst, it.tag, it.data, true)
 		close(it.req.done)
+		it.req.fireComplete()
 	}
 }
 
@@ -108,12 +149,21 @@ func (c *Comm) flushNIC() {
 // Isend starts a non-blocking send of a copy of data to dst and returns
 // its Request. The caller may reuse data immediately.
 func (c *Comm) Isend(dst, tag int, data []float64) *Request {
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	return c.IsendOwned(dst, tag, buf)
+}
+
+// IsendOwned is Isend without the snapshot copy: ownership of data
+// transfers to the rank's NIC and, on delivery, to the receiver (whose
+// Recv returns the very same slice). The caller must not touch data after
+// the call — not even after Wait. Use Request.OnComplete to learn when the
+// transfer has left the sender. Ordering and Stats are identical to Isend.
+func (c *Comm) IsendOwned(dst, tag int, data []float64) *Request {
 	if tag < 0 {
 		panic("mpi: negative tags are reserved")
 	}
 	c.checkRank(dst)
-	buf := make([]float64, len(data))
-	copy(buf, data)
 	req := &Request{c: c, send: true, peer: dst, tag: tag, done: make(chan struct{})}
 	q := c.startNIC()
 	q.mu.Lock()
@@ -121,7 +171,7 @@ func (c *Comm) Isend(dst, tag int, data []float64) *Request {
 		q.mu.Unlock()
 		panic("mpi: Isend after rank shutdown")
 	}
-	q.items = append(q.items, nicItem{dst: dst, tag: tag, data: buf, req: req})
+	q.items = append(q.items, nicItem{dst: dst, tag: tag, data: data, req: req})
 	q.mu.Unlock()
 	q.cond.Signal()
 	return req
@@ -157,15 +207,38 @@ func (r *Request) Wait() []float64 {
 			panic(fmt.Sprintf("watchdog: rank %d blocked in Wait(Isend dst=%d, tag=%d) longer than %v", r.c.rank, r.peer, r.tag, to))
 		}
 	}
+	data, _ := r.resolveRecv(true)
+	return data
+}
+
+// resolveRecv claims the receive's ticket (blocking or not), publishes the
+// payload and fires completion hooks exactly once.
+func (r *Request) resolveRecv(blocking bool) ([]float64, bool) {
+	r.resolveMu.Lock()
+	defer r.resolveMu.Unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if !r.got {
-		k := streamKey{r.peer, r.tag}
-		m := r.c.world.boxes[r.c.rank].takeTicket(k, r.ticket, r.c.world, r.c.rank, "Irecv.Wait")
-		r.data = m.Data
-		r.got = true
+	if r.got {
+		data := r.data
+		r.mu.Unlock()
+		return data, true
 	}
-	return r.data
+	r.mu.Unlock()
+	k := streamKey{r.peer, r.tag}
+	var m Message
+	if blocking {
+		m = r.c.world.boxes[r.c.rank].takeTicket(k, r.ticket, r.c.world, r.c.rank, "Irecv.Wait")
+	} else {
+		var ok bool
+		if m, ok = r.c.world.boxes[r.c.rank].tryTakeTicket(k, r.ticket); !ok {
+			return nil, false
+		}
+	}
+	r.mu.Lock()
+	r.data = m.Data
+	r.got = true
+	r.mu.Unlock()
+	r.fireComplete()
+	return m.Data, true
 }
 
 // Test reports whether the operation has completed without blocking,
@@ -179,18 +252,7 @@ func (r *Request) Test() ([]float64, bool) {
 			return nil, false
 		}
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.got {
-		return r.data, true
-	}
-	k := streamKey{r.peer, r.tag}
-	if m, ok := r.c.world.boxes[r.c.rank].tryTakeTicket(k, r.ticket); ok {
-		r.data = m.Data
-		r.got = true
-		return r.data, true
-	}
-	return nil, false
+	return r.resolveRecv(false)
 }
 
 // Waitall completes every request; nil entries are skipped.

@@ -235,7 +235,10 @@ func (ts *TiledSpace) TotalPoints() int64 {
 // communication scheme requires.
 func (ts *TiledSpace) computeTileDeps() error {
 	n := ts.T.N
-	seen := map[string]ilin.Vec{}
+	// Chained under the vector hash (collisions resolved by Equal), so the
+	// TileSize·q-iteration sweep allocates only per distinct offset instead
+	// of building a string key per lattice point.
+	seen := map[uint64][]ilin.Vec{}
 	off := make(ilin.Vec, n)
 	ts.T.ScanTTIS(func(z, jp ilin.Vec) bool {
 		for l := 0; l < ts.DP.Cols; l++ {
@@ -246,18 +249,26 @@ func (ts *TiledSpace) computeTileDeps() error {
 					zero = false
 				}
 			}
-			if !zero {
-				key := off.String()
-				if _, ok := seen[key]; !ok {
-					seen[key] = off.Clone()
+			if zero {
+				continue
+			}
+			key := ilin.VecHash(off)
+			dup := false
+			for _, v := range seen[key] {
+				if v.Equal(off) {
+					dup = true
+					break
 				}
+			}
+			if !dup {
+				seen[key] = append(seen[key], off.Clone())
 			}
 		}
 		return true
 	})
 	ts.DS = ts.DS[:0]
-	for _, v := range seen {
-		ts.DS = append(ts.DS, v)
+	for _, vs := range seen {
+		ts.DS = append(ts.DS, vs...)
 	}
 	sort.Slice(ts.DS, func(i, j int) bool { return ts.DS[i].LexLess(ts.DS[j]) })
 	for _, d := range ts.DS {
