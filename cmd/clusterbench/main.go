@@ -15,11 +15,18 @@
 //	clusterbench -scale 4         # shrink every space dimension 4×
 //	clusterbench -overlap         # also run the overlap ablation (simulator)
 //	clusterbench -execablation    # run blocking vs overlapped in the real runtime
+//	clusterbench -trace out.json  # trace the real runtime, export Chrome JSON
+//	clusterbench -gantt           # text Gantt of the measured SOR timeline
 //	clusterbench -o results.txt   # tee output to a file
 //
 // -execablation selects between blocking and overlapped (Isend) execution
 // in the in-process runtime under the simulator's injected cost model and
 // checks that the measured winner matches the simulator's prediction.
+//
+// -trace runs SOR/Jacobi/ADI through the real runtime with the per-rank
+// tracer attached, compares measured phase fractions against
+// simnet.SimulateTraced, and writes the measured 16-rank SOR timeline as
+// Chrome trace_event JSON (open in chrome://tracing or ui.perfetto.dev).
 package main
 
 import (
@@ -40,6 +47,8 @@ func main() {
 		overlap  = flag.Bool("overlap", false, "also run the computation-communication overlap ablation")
 		execAbl  = flag.Bool("execablation", false, "run blocking vs overlapped communication in the real runtime and compare with the simulator's prediction")
 		execPerf = flag.String("execbench", "", "measure the compiled-plan executor against the legacy per-point one and write the JSON snapshot to this path (e.g. BENCH_exec.json)")
+		tracePth = flag.String("trace", "", "trace the real runtime and write the measured SOR timeline as Chrome trace_event JSON to this path")
+		gantt    = flag.Bool("gantt", false, "with -trace (or alone): render a text Gantt of the measured SOR timeline")
 		outPath  = flag.String("o", "", "also write the report to this file")
 	)
 	flag.Parse()
@@ -120,6 +129,54 @@ func main() {
 
 	if *execPerf != "" {
 		runExecPerf(out, *execPerf)
+	}
+
+	if *tracePth != "" || *gantt {
+		runTraceReport(out, *tracePth, *gantt, par)
+	}
+}
+
+// runTraceReport runs the measured-vs-simulated phase experiment, prints
+// the comparison table and the 16-rank SOR straggler summary, optionally
+// renders a text Gantt over the measured timeline, and exports the SOR
+// trace as Chrome trace_event JSON.
+func runTraceReport(out io.Writer, path string, gantt bool, par simnet.Params) {
+	// Same cost balance as the exec ablation: compute vs transfer tuned so
+	// phases are visible, scaled 10× into OS-timer range.
+	par.Bandwidth = 3e5
+	par.IterTime = 5e-6
+	e, err := bench.RunTraceExperiment(par, 10)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: trace: %v\n", err)
+		return
+	}
+	fmt.Fprint(out, e.Render())
+	if !e.Agree() {
+		fmt.Fprintf(out, "WARNING: phase fractions diverged beyond ±%.2f\n", bench.PhaseTolerance)
+	}
+	fmt.Fprintln(out)
+
+	sor := e.Rows[0]
+	crit, idle := sor.Trace.CriticalRank()
+	fmt.Fprintf(out, "SOR measured: %d ranks, %d tiles, makespan %v (sim %v); critical rank %d, %.0f%% idle\n",
+		sor.Procs, sor.Tiles, sor.MeasuredMakespan.Round(time.Millisecond),
+		sor.SimMakespan.Round(time.Millisecond), crit, idle*100)
+	if gantt {
+		fmt.Fprint(out, sor.Trace.Gantt(72))
+	}
+	fmt.Fprintln(out)
+
+	if path != "" {
+		js, err := sor.Trace.TraceEventJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clusterbench: trace: %v\n", err)
+			return
+		}
+		if err := os.WriteFile(path, js, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "clusterbench: trace: %v\n", err)
+			return
+		}
+		fmt.Fprintf(out, "wrote Chrome trace_event JSON (%d bytes) to %s — open in chrome://tracing or ui.perfetto.dev\n\n", len(js), path)
 	}
 }
 

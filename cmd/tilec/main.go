@@ -149,6 +149,9 @@ func main() {
 	if !*emit {
 		return
 	}
+	if opts.KernelStmt == "" {
+		fail(`codegen: the spec has no "kernel" statement; add one (e.g. "out[0] = 0.25*(R0[0]+R1[0]);") or pass -emit=false for analysis only`)
+	}
 	src, err := prog.GenerateC(opts)
 	if err != nil {
 		fail("codegen: %v", err)
@@ -278,13 +281,13 @@ func fromSpec(path string) (*tilespace.Program, tilespace.CodegenOptions, error)
 	if err != nil {
 		return nil, tilespace.CodegenOptions{}, err
 	}
-	kernel := sp.Kernel
-	if kernel == "" {
-		kernel = "/* TODO: kernel */ out[0] = 0.0;"
-	}
+	// No placeholder for a missing kernel: emitting "out[0] = 0.0;" would
+	// compile to a silently-wrong program. KernelStmt stays empty and
+	// codegen rejects it when (and only when) emission is requested, so
+	// analysis-only runs (-emit=false) still work on kernel-less specs.
 	return prog, tilespace.CodegenOptions{
 		Name: defaultStr(sp.Name, "tiled"), Width: max(1, sp.Width),
-		KernelStmt: kernel, InitialStmt: sp.Initial,
+		KernelStmt: sp.Kernel, InitialStmt: sp.Initial,
 	}, nil
 }
 

@@ -115,8 +115,17 @@ func TestFromSpecWithConstraintsAndSkew(t *testing.T) {
 	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := fromSpec(path); err != nil {
+	prog, opts, err := fromSpec(path)
+	if err != nil {
 		t.Fatalf("constrained spec failed: %v", err)
+	}
+	// A kernel-less spec is fine for analysis, but emission must hard-fail
+	// rather than generate a silently-wrong placeholder kernel.
+	if opts.KernelStmt != "" {
+		t.Fatalf("kernel-less spec produced KernelStmt %q, want empty", opts.KernelStmt)
+	}
+	if src, err := prog.GenerateC(opts); err == nil || strings.Contains(src, "TODO") {
+		t.Fatalf("emission without a kernel must error, got err=%v", err)
 	}
 }
 

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tilespace/internal/simnet"
+)
+
+// TestTraceExperimentValidatesCostModel is the acceptance check of the
+// tracing layer: the measured 16-rank SOR run (plus Jacobi and ADI) must
+// agree with simnet.SimulateTraced's phase fractions within
+// PhaseTolerance, and the measured trace must export valid Chrome
+// trace_event JSON. Wall-clock heavy (injected costs), so skipped under
+// -short.
+func TestTraceExperimentValidatesCostModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured phase comparison needs injected real-time costs")
+	}
+	par := simnet.FastEthernetPIII()
+	par.Bandwidth = 3e5
+	par.IterTime = 5e-6
+	e, err := RunTraceExperiment(par, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Rows) != 3 {
+		t.Fatalf("rows = %d", len(e.Rows))
+	}
+	sor := e.Rows[0]
+	if sor.Procs != 16 {
+		t.Fatalf("SOR procs = %d, want the 16-rank acceptance configuration", sor.Procs)
+	}
+	for _, pc := range e.Rows {
+		t.Logf("%s: compute meas %.3f sim %.3f, wait meas %.3f sim %.3f",
+			pc.App, pc.MeasuredCompute, pc.SimCompute, pc.MeasuredWait, pc.SimWait)
+		if pc.ComputeErr() > PhaseTolerance {
+			t.Errorf("%s compute fraction diverged: measured %.3f vs sim %.3f", pc.App, pc.MeasuredCompute, pc.SimCompute)
+		}
+		if pc.WaitErr() > PhaseTolerance {
+			t.Errorf("%s wait fraction diverged: measured %.3f vs sim %.3f", pc.App, pc.MeasuredWait, pc.SimWait)
+		}
+		if int64(len(pc.Trace.Events)) != pc.Tiles {
+			t.Errorf("%s: %d measured events for %d tiles", pc.App, len(pc.Trace.Events), pc.Tiles)
+		}
+	}
+
+	js, err := sor.Trace.TraceEventJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Phase string `json:"ph"`
+			Tid   int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(js, &f); err != nil {
+		t.Fatalf("invalid trace_event JSON: %v", err)
+	}
+	ranks := map[int]bool{}
+	for _, ev := range f.TraceEvents {
+		ranks[ev.Tid] = true
+	}
+	if len(ranks) != 16 {
+		t.Errorf("trace JSON covers %d ranks, want 16", len(ranks))
+	}
+}

@@ -24,6 +24,10 @@ const maxPoolBufs = 32
 // concurrent use: each rank owns exactly one.
 type bufPool struct {
 	free [][]float64
+	// hits/misses feed the tracer's pool-effectiveness metric; plain int
+	// increments, so they cost nothing measurable with tracing off.
+	hits   int
+	misses int
 }
 
 // get returns a length-n buffer, reusing the freelist when a large enough
@@ -36,16 +40,29 @@ func (p *bufPool) get(n int) []float64 {
 			p.free[i] = p.free[last]
 			p.free[last] = nil
 			p.free = p.free[:last]
+			p.hits++
 			return b
 		}
 	}
+	p.misses++
 	return make([]float64, n)
 }
 
 // put recycles a buffer the rank owns (a packed buffer after a copying
-// Send, or a received message after unpacking).
+// Send, or a received message after unpacking). Recycling the same buffer
+// twice would hand one backing array to two future messages — silent data
+// corruption — so aliasing an entry already in the freelist panics. The
+// scan is at most maxPoolBufs pointer compares, off the hot path.
 func (p *bufPool) put(b []float64) {
-	if cap(b) == 0 || len(p.free) >= maxPoolBufs {
+	if cap(b) == 0 {
+		return
+	}
+	for _, f := range p.free {
+		if len(f) > 0 && len(b) > 0 && &f[0] == &b[0] {
+			panic("exec: bufPool.put: buffer is already in the pool (double recycle)")
+		}
+	}
+	if len(p.free) >= maxPoolBufs {
 		return
 	}
 	p.free = append(p.free, b)
@@ -87,6 +104,9 @@ func (st *rankState) sendPhasePlanned(tile ilin.Vec, pl *tilePlan, t int64) erro
 		} else {
 			st.c.SendOwned(st.sendRank[i], i, buf)
 		}
+		if st.tr != nil {
+			st.tr.noteSend(len(buf), len(st.pending))
+		}
 	}
 	return nil
 }
@@ -123,7 +143,7 @@ func (st *rankState) receivePhasePlanned(tile ilin.Vec, t int64) error {
 		if srcRank < 0 {
 			return fmt.Errorf("exec: predecessor tile %v has no rank", pred)
 		}
-		buf := st.c.Recv(srcRank, di)
+		buf := st.recv(srcRank, di)
 		if int64(len(buf)) != dir.total*int64(w) {
 			return fmt.Errorf("exec: rank %d tile %v: message from rank %d tag %d has %d values, expected %d", st.rank, tile, srcRank, di, len(buf), dir.total*int64(w))
 		}

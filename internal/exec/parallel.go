@@ -40,6 +40,11 @@ type RunOptions struct {
 	// exec assert this for every app — so the flag exists for those tests
 	// and for before/after benchmarking, not for production use.
 	Legacy bool
+	// Trace, when non-nil, records a measured per-tile timeline (the
+	// simnet.Event schema) plus per-rank phase metrics into the tracer;
+	// see Tracer. Nil disables tracing entirely: the executor takes no
+	// timestamps and allocates nothing for observability.
+	Trace *Tracer
 }
 
 // RunParallel executes the program as the paper's generated data-parallel
@@ -66,6 +71,9 @@ func (p *Program) RunParallelOpts(opt RunOptions) (*Global, mpi.Stats, error) {
 	g := NewGlobal(lo, hi, p.Width)
 
 	world := mpi.NewWorldOpts(p.Dist.NumProcs(), opt.Net)
+	if opt.Trace != nil {
+		opt.Trace.reset(p.Dist.NumProcs())
+	}
 	var (
 		mu     sync.Mutex
 		runErr error
@@ -79,6 +87,9 @@ func (p *Program) RunParallelOpts(opt RunOptions) (*Global, mpi.Stats, error) {
 			mu.Unlock()
 		}
 	})
+	if opt.Trace != nil {
+		opt.Trace.drain()
+	}
 	if runErr != nil {
 		return nil, mpi.Stats{}, runErr
 	}
@@ -136,6 +147,10 @@ type rankState struct {
 	overlap    bool
 	pointDelay time.Duration
 
+	// tr is this rank's measured-timeline recorder; nil when tracing is
+	// off, and every instrumentation site is guarded on that.
+	tr *rankTracer
+
 	// In-flight Isends in issue order. The NIC delivers them FIFO and
 	// noteSendDone counts completions from its goroutine, so reapPending
 	// can drop the completed prefix without blocking; Waitall at chain end
@@ -162,6 +177,9 @@ func newRankState(p *Program, c *mpi.Comm, r int, opt RunOptions) *rankState {
 		pointDelay: opt.PointDelay,
 	}
 	st.noteFn = st.noteSendDone
+	if opt.Trace != nil {
+		st.tr = newRankTracer(opt.Trace, r)
+	}
 	st.la = make([]float64, st.addr.Size()*int64(p.Width))
 	q := p.TS.Nest.Q()
 	for l := 0; l < q; l++ {
@@ -190,33 +208,57 @@ func (p *Program) runRank(c *mpi.Comm, g *Global, opt RunOptions) error {
 
 	for t := int64(0); t < d.ChainLen[r]; t++ {
 		tile := d.TileAt(r, t)
+		if st.tr != nil {
+			st.tr.beginTile()
+		}
 		if st.legacy {
 			if err := st.receivePhase(tile, t); err != nil {
 				return err
 			}
 			st.initPhase(tile, t)
+			if st.tr != nil {
+				st.tr.noteRecvDone()
+			}
 			st.computePhase(tile, t)
+			if st.tr != nil {
+				st.tr.noteCompDone()
+			}
 			if err := st.sendPhase(tile); err != nil {
 				return err
 			}
-			continue
+		} else {
+			pl := st.planFor(tile)
+			st.tilePlans[t] = pl
+			if err := st.receivePhasePlanned(tile, t); err != nil {
+				return err
+			}
+			mulVecInto(st.pBase, p.TS.T.P, tile)
+			st.initPhasePlanned(pl, tile, t)
+			if st.tr != nil {
+				st.tr.noteRecvDone()
+			}
+			st.computePhasePlanned(pl, t)
+			if st.tr != nil {
+				st.tr.noteCompDone()
+			}
+			if err := st.sendPhasePlanned(tile, pl, t); err != nil {
+				return err
+			}
 		}
-		pl := st.planFor(tile)
-		st.tilePlans[t] = pl
-		if err := st.receivePhasePlanned(tile, t); err != nil {
-			return err
+		if st.tr != nil {
+			st.tr.endTile(tile)
 		}
-		mulVecInto(st.pBase, p.TS.T.P, tile)
-		st.initPhasePlanned(pl, tile, t)
-		st.computePhasePlanned(pl, t)
-		if err := st.sendPhasePlanned(tile, pl, t); err != nil {
-			return err
-		}
+		// A completed tile is forward progress even if every other rank is
+		// parked waiting for its output — keep the watchdog quiet.
+		c.NoteProgress()
 	}
 	// Overlap mode: every send so far was an Isend whose transfer runs on
 	// the rank's NIC; make sure all of them completed before declaring the
 	// chain done (receivers need the data, and Stats must be final).
 	mpi.Waitall(st.pending)
+	if st.tr != nil {
+		st.tr.finish(&st.pool)
+	}
 	st.writeBack(g)
 	return nil
 }
@@ -306,6 +348,20 @@ func (st *rankState) chargePointDelay(pts int64) {
 // completed Isend (registered via Request.OnComplete).
 func (st *rankState) noteSendDone() { st.sendsDone.Add(1) }
 
+// recv is the receive used by both executor paths: plain Recv when
+// tracing is off, and the timestamped RecvMsg — splitting blocked wait
+// from mailbox queueing via Message.Delivered — when it is on.
+func (st *rankState) recv(src, tag int) []float64 {
+	if st.tr == nil {
+		return st.c.Recv(src, tag)
+	}
+	t0 := time.Now()
+	m := st.c.RecvMsg(src, tag)
+	now := time.Now()
+	st.tr.noteRecv(now.Sub(t0), now.Sub(m.Delivered), len(m.Data))
+	return m.Data
+}
+
 // reapPending drops the completed prefix of the in-flight Isend list. The
 // NIC completes requests in issue order, so the completion count alone
 // identifies how many leading entries are done — no per-request Test.
@@ -352,7 +408,7 @@ func (st *rankState) receivePhase(tile ilin.Vec, t int64) error {
 		if srcRank < 0 {
 			return fmt.Errorf("exec: predecessor tile %v has no rank", pred)
 		}
-		buf := st.c.Recv(srcRank, di)
+		buf := st.recv(srcRank, di)
 		if int64(len(buf)) != n*int64(w) {
 			return fmt.Errorf("exec: rank %d tile %v: message from rank %d tag %d has %d values, expected %d", st.rank, tile, srcRank, di, len(buf), n*int64(w))
 		}
@@ -488,6 +544,9 @@ func (st *rankState) sendPhase(tile ilin.Vec) error {
 			st.pending = append(st.pending, req)
 		} else {
 			st.c.Send(st.sendRank[i], i, buf)
+		}
+		if st.tr != nil {
+			st.tr.noteSend(len(buf), len(st.pending))
 		}
 		st.pool.put(buf)
 	}

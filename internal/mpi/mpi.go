@@ -25,7 +25,12 @@ import (
 type Message struct {
 	Source int
 	Tag    int
-	Data   []float64
+	// Delivered is when the runtime placed the message into the receiver's
+	// mailbox (after any injected wire cost). Receivers can subtract it
+	// from their claim time to measure how long a message sat queued —
+	// the tracing layer's send→recv timestamp delta.
+	Delivered time.Time
+	Data      []float64
 }
 
 type streamKey struct {
@@ -89,16 +94,30 @@ func (mb *mailbox) reserve(k streamKey) uint64 {
 // it. When the world has a watchdog timeout it panics with a deadlock
 // diagnostic instead of waiting forever; when a peer rank has failed it
 // panics with a secondary abort so the world can drain.
+//
+// The watchdog observes *global* progress, not a flat per-call timeout: a
+// receiver blocked here while another rank is still running (long compute
+// phase), a NIC transfer is in flight, or any message has been delivered
+// since the deadline was armed is waiting, not deadlocked, and the
+// deadline re-arms. It fires only after two consecutive timeout periods in
+// which every live rank sat parked in a blocking wait with nothing
+// delivered — which is a genuine communication deadlock.
 func (mb *mailbox) takeTicket(k streamKey, ticket uint64, w *World, rank int, op string) Message {
 	to := w.opts.Watchdog
-	var deadline time.Time
+	var (
+		timer    *time.Timer
+		deadline time.Time
+		last     uint64
+		strikes  int
+	)
 	if to > 0 {
+		last = w.progress.Load()
 		deadline = time.Now().Add(to)
 		// Wake the waiter when the deadline passes. Locking (and
 		// releasing) mu before broadcasting guarantees the waiter is
 		// either inside cond.Wait (and receives the broadcast) or has not
 		// yet checked the deadline (and will see it expired).
-		timer := time.AfterFunc(to, func() {
+		timer = time.AfterFunc(to, func() {
 			mb.mu.Lock()
 			//lint:ignore SA2001 empty critical section orders the broadcast
 			mb.mu.Unlock()
@@ -106,6 +125,8 @@ func (mb *mailbox) takeTicket(k streamKey, ticket uint64, w *World, rank int, op
 		})
 		defer timer.Stop()
 	}
+	w.blocked.Add(1)
+	defer w.blocked.Add(-1)
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	s := mb.streamOf(k)
@@ -118,7 +139,18 @@ func (mb *mailbox) takeTicket(k streamKey, ticket uint64, w *World, rank int, op
 			return m
 		}
 		if to > 0 && !time.Now().Before(deadline) {
-			panic(fmt.Sprintf("watchdog: rank %d blocked in %s(src=%d, tag=%d) longer than %v — deadlock suspected (no matching send)", rank, op, k.src, k.tag, to))
+			var stall bool
+			last, stall = w.stalled(last)
+			if stall {
+				strikes++
+			} else {
+				strikes = 0
+			}
+			if strikes >= 2 {
+				panic(fmt.Sprintf("watchdog: rank %d blocked in %s(src=%d, tag=%d) longer than %v with no global progress — deadlock suspected (no matching send)", rank, op, k.src, k.tag, to))
+			}
+			deadline = time.Now().Add(to)
+			timer.Reset(to)
 		}
 		mb.cond.Wait()
 	}
@@ -161,9 +193,15 @@ func (a abortPanic) String() string { return a.msg }
 
 // Options configures a World beyond its rank count.
 type Options struct {
-	// Watchdog aborts any Recv or Request.Wait blocked longer than this
-	// with a diagnostic naming the stuck rank, source and tag, instead of
-	// hanging the process on a mis-matched schedule. Zero disables it.
+	// Watchdog aborts a Recv or Request.Wait with a diagnostic naming the
+	// stuck rank, source and tag, instead of hanging the process on a
+	// mis-matched schedule. It is progress-based, not a flat per-call
+	// timeout: a wait only trips it after ~2× this duration with no global
+	// progress — no message delivered, no NIC transfer in flight, no rank
+	// running outside a blocking wait, and no NoteProgress call. A
+	// receiver stalled behind a peer's long compute phase therefore waits
+	// as long as it takes; only a genuine deadlock (every live rank
+	// parked, nothing moving) fires. Zero disables it.
 	Watchdog time.Duration
 	// LinkLatency and PerValue inject synthetic wire cost: each message
 	// costs LinkLatency plus PerValue per float64 carried. A blocking Send
@@ -176,11 +214,13 @@ type Options struct {
 	PerValue    time.Duration
 }
 
-// RankTraffic is one rank's outbound traffic.
+// RankTraffic is one rank's traffic, both directions.
 type RankTraffic struct {
 	BlockingSends   int64 // messages sent with Send/collectives
 	OverlappedSends int64 // messages sent with Isend
 	Values          int64 // float64 values across both
+	Recvs           int64 // messages claimed by Recv/Irecv/TryRecv
+	ValuesRecvd     int64 // float64 values across claimed messages
 }
 
 // Stats aggregates per-world traffic counters.
@@ -189,14 +229,18 @@ type Stats struct {
 	Values          int64 // float64 values carried by those messages
 	BlockingSends   int64 // messages sent on the blocking path
 	OverlappedSends int64 // messages sent on the non-blocking (Isend) path
+	Recvs           int64 // messages claimed by receivers
+	ValuesRecvd     int64 // float64 values claimed by receivers
 	PerRank         []RankTraffic
 }
 
 // rankCounters is the mutable form of RankTraffic.
 type rankCounters struct {
-	blocking   atomic.Int64
-	overlapped atomic.Int64
-	values     atomic.Int64
+	blocking    atomic.Int64
+	overlapped  atomic.Int64
+	values      atomic.Int64
+	recvs       atomic.Int64
+	valuesRecvd atomic.Int64
 }
 
 // World is a communicator universe of Size ranks.
@@ -210,6 +254,36 @@ type World struct {
 	messages atomic.Int64
 	values   atomic.Int64
 	perRank  []rankCounters
+
+	// Watchdog progress observation (see Options.Watchdog): progress is
+	// bumped on every delivery, barrier completion and NoteProgress call;
+	// active counts ranks inside their RunE function; blocked counts ranks
+	// parked in a blocking wait; nicBusy counts undelivered Isends.
+	progress atomic.Uint64
+	active   atomic.Int64
+	blocked  atomic.Int64
+	nicBusy  atomic.Int64
+}
+
+// NoteProgress records externally observable forward progress (the
+// executor calls it after every completed tile): any watchdog about to
+// fire re-arms instead. Deliveries and barrier completions count
+// automatically.
+func (w *World) NoteProgress() { w.progress.Add(1) }
+
+// stalled implements the watchdog's deadlock test. Given the progress
+// counter observed when the deadline was armed, it reports whether the
+// world is stalled: no progress since, every live rank parked in a
+// blocking wait, and no NIC transfer pending. When progress has occurred
+// it returns the fresh counter so the caller re-arms against it.
+func (w *World) stalled(last uint64) (uint64, bool) {
+	if p := w.progress.Load(); p != last {
+		return p, false
+	}
+	if w.nicBusy.Load() > 0 || w.blocked.Load() < w.active.Load() {
+		return last, false
+	}
+	return last, true
 }
 
 // NewWorld creates a world with the given number of ranks and default
@@ -246,10 +320,14 @@ func (w *World) Stats() Stats {
 			BlockingSends:   rc.blocking.Load(),
 			OverlappedSends: rc.overlapped.Load(),
 			Values:          rc.values.Load(),
+			Recvs:           rc.recvs.Load(),
+			ValuesRecvd:     rc.valuesRecvd.Load(),
 		}
 		st.PerRank[i] = rt
 		st.BlockingSends += rt.BlockingSends
 		st.OverlappedSends += rt.OverlappedSends
+		st.Recvs += rt.Recvs
+		st.ValuesRecvd += rt.ValuesRecvd
 	}
 	return st
 }
@@ -270,7 +348,15 @@ func (w *World) deliver(src, dst, tag int, data []float64, overlapped bool) {
 		rc.blocking.Add(1)
 	}
 	rc.values.Add(int64(len(data)))
-	w.boxes[dst].put(Message{Source: src, Tag: tag, Data: data})
+	w.progress.Add(1)
+	w.boxes[dst].put(Message{Source: src, Tag: tag, Delivered: time.Now(), Data: data})
+}
+
+// noteRecv counts one claimed message against the receiving rank.
+func (w *World) noteRecv(rank int, values int) {
+	rc := &w.perRank[rank]
+	rc.recvs.Add(1)
+	rc.valuesRecvd.Add(int64(values))
 }
 
 // abort tears the world down after a rank failure: the barrier and every
@@ -310,6 +396,8 @@ func (w *World) RunE(fn func(c *Comm)) error {
 					w.abort()
 				}
 			}()
+			w.active.Add(1)
+			defer w.active.Add(-1)
 			fn(c)
 		}(r)
 	}
@@ -415,11 +503,27 @@ func (c *Comm) Recv(src, tag int) []float64 {
 }
 
 func (c *Comm) recv(src, tag int) []float64 {
+	return c.recvMsg(src, tag).Data
+}
+
+// RecvMsg is Recv returning the full message envelope, including the
+// Delivered timestamp the tracing layer uses to split blocked time from
+// mailbox queue time. Matching and ordering are identical to Recv.
+func (c *Comm) RecvMsg(src, tag int) Message {
+	if tag < 0 {
+		panic("mpi: negative tags are reserved")
+	}
+	return c.recvMsg(src, tag)
+}
+
+func (c *Comm) recvMsg(src, tag int) Message {
 	c.checkRank(src)
 	mb := c.world.boxes[c.rank]
 	k := streamKey{src, tag}
 	ticket := mb.reserve(k)
-	return mb.takeTicket(k, ticket, c.world, c.rank, "Recv").Data
+	m := mb.takeTicket(k, ticket, c.world, c.rank, "Recv")
+	c.world.noteRecv(c.rank, len(m.Data))
+	return m
 }
 
 // TryRecv is a non-blocking Recv; ok is false when no matching message is
@@ -431,6 +535,9 @@ func (c *Comm) TryRecv(src, tag int) ([]float64, bool) {
 	}
 	c.checkRank(src)
 	m, ok := c.world.boxes[c.rank].tryTake(streamKey{src, tag})
+	if ok {
+		c.world.noteRecv(c.rank, len(m.Data))
+	}
 	return m.Data, ok
 }
 
@@ -442,7 +549,13 @@ func (c *Comm) SendRecv(dst, sendTag int, data []float64, src, recvTag int) []fl
 }
 
 // Barrier blocks until all ranks have entered it.
-func (c *Comm) Barrier() { c.world.barrier.await() }
+func (c *Comm) Barrier() { c.world.barrier.await(c.world) }
+
+// NoteProgress is World.NoteProgress from inside a rank: programs call it
+// at natural units of forward progress (the executor calls it once per
+// completed tile) so the deadlock watchdog never mistakes a long pipeline
+// stage for a hang.
+func (c *Comm) NoteProgress() { c.world.NoteProgress() }
 
 // Bcast distributes root's data to every rank and returns each rank's
 // copy (root returns a copy of its own input).
@@ -551,7 +664,7 @@ func newBarrier(size int) *barrier {
 	return b
 }
 
-func (b *barrier) await() {
+func (b *barrier) await(w *World) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.poisoned {
@@ -562,9 +675,15 @@ func (b *barrier) await() {
 	if b.count == b.size {
 		b.count = 0
 		b.gen++
+		// A completed barrier generation is global progress.
+		w.progress.Add(1)
 		b.cond.Broadcast()
 		return
 	}
+	// Barrier waiters count as blocked so a watchdog elsewhere can tell
+	// "everyone is parked" from "someone is still computing".
+	w.blocked.Add(1)
+	defer w.blocked.Add(-1)
 	for gen == b.gen && !b.poisoned {
 		b.cond.Wait()
 	}

@@ -147,8 +147,11 @@ func TestStatsCountOverlappedVsBlocking(t *testing.T) {
 	if st.PerRank[1].OverlappedSends != 1 || st.PerRank[1].Values != 3 {
 		t.Errorf("rank 1 traffic %+v", st.PerRank[1])
 	}
-	if st.PerRank[2] != (RankTraffic{}) {
-		t.Errorf("rank 2 traffic %+v, want zero", st.PerRank[2])
+	if st.PerRank[2] != (RankTraffic{Recvs: 3, ValuesRecvd: 6}) {
+		t.Errorf("rank 2 traffic %+v, want receive-only counts", st.PerRank[2])
+	}
+	if st.Recvs != 3 || st.ValuesRecvd != 6 {
+		t.Errorf("Recvs=%d ValuesRecvd=%d, want 3 and 6", st.Recvs, st.ValuesRecvd)
 	}
 }
 
@@ -245,6 +248,49 @@ func TestWatchdogIrecvWait(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "tag=2") {
 		t.Fatalf("err = %v, want watchdog diagnostic with tag", err)
+	}
+}
+
+// TestWatchdogSurvivesSlowCompute: a receiver parked far longer than the
+// watchdog while its upstream rank is in a long compute phase is pipeline
+// fill, not deadlock — the progress-aware watchdog must let it ride.
+func TestWatchdogSurvivesSlowCompute(t *testing.T) {
+	w := NewWorldOpts(2, Options{Watchdog: 30 * time.Millisecond})
+	err := w.RunE(func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				time.Sleep(120 * time.Millisecond) // "compute" ≫ watchdog
+				c.Send(1, 0, []float64{float64(i)})
+			}
+		} else {
+			for i := 0; i < 3; i++ {
+				if v := c.Recv(0, 0); v[0] != float64(i) {
+					t.Errorf("msg %d: got %v", i, v)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("healthy slow-compute run tripped the watchdog: %v", err)
+	}
+}
+
+// TestWatchdogSurvivesSlowWire: every rank parked while a NIC is still
+// paying wire cost on an undelivered transfer is progress in flight, not
+// deadlock.
+func TestWatchdogSurvivesSlowWire(t *testing.T) {
+	w := NewWorldOpts(2, Options{Watchdog: 20 * time.Millisecond, LinkLatency: 150 * time.Millisecond})
+	err := w.RunE(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Isend(1, 0, []float64{1}).Wait()
+		} else {
+			if v := c.Recv(0, 0); v[0] != 1 {
+				t.Errorf("got %v", v)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("in-flight transfer tripped the watchdog: %v", err)
 	}
 }
 

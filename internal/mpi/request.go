@@ -124,6 +124,7 @@ func (c *Comm) nicLoop(q *nicQueue) {
 			time.Sleep(d)
 		}
 		c.world.deliver(c.rank, it.dst, it.tag, it.data, true)
+		c.world.nicBusy.Add(-1)
 		close(it.req.done)
 		it.req.fireComplete()
 	}
@@ -171,6 +172,9 @@ func (c *Comm) IsendOwned(dst, tag int, data []float64) *Request {
 		q.mu.Unlock()
 		panic("mpi: Isend after rank shutdown")
 	}
+	// Count the undelivered transfer before it is visible to the NIC, so
+	// a watchdog can never observe "all parked" while delivery is pending.
+	c.world.nicBusy.Add(1)
 	q.items = append(q.items, nicItem{dst: dst, tag: tag, data: data, req: req})
 	q.mu.Unlock()
 	q.cond.Signal()
@@ -195,16 +199,40 @@ func (c *Comm) Irecv(src, tag int) *Request {
 // longer than the timeout aborts with a diagnostic instead of hanging.
 func (r *Request) Wait() []float64 {
 	if r.send {
-		to := r.c.world.opts.Watchdog
+		w := r.c.world
+		to := w.opts.Watchdog
 		if to <= 0 {
 			<-r.done
 			return nil
 		}
-		select {
-		case <-r.done:
-			return nil
-		case <-time.After(to):
-			panic(fmt.Sprintf("watchdog: rank %d blocked in Wait(Isend dst=%d, tag=%d) longer than %v", r.c.rank, r.peer, r.tag, to))
+		w.blocked.Add(1)
+		defer w.blocked.Add(-1)
+		last := w.progress.Load()
+		strikes := 0
+		for {
+			select {
+			case <-r.done:
+				return nil
+			case <-time.After(to):
+			}
+			// The timer and completion can race: re-check done before
+			// consulting the stall detector so a finished send never trips
+			// the watchdog.
+			select {
+			case <-r.done:
+				return nil
+			default:
+			}
+			var stall bool
+			last, stall = w.stalled(last)
+			if stall {
+				strikes++
+			} else {
+				strikes = 0
+			}
+			if strikes >= 2 {
+				panic(fmt.Sprintf("watchdog: rank %d blocked in Wait(Isend dst=%d, tag=%d) longer than %v with no global progress — deadlock suspected", r.c.rank, r.peer, r.tag, to))
+			}
 		}
 	}
 	data, _ := r.resolveRecv(true)
@@ -233,6 +261,7 @@ func (r *Request) resolveRecv(blocking bool) ([]float64, bool) {
 			return nil, false
 		}
 	}
+	r.c.world.noteRecv(r.c.rank, len(m.Data))
 	r.mu.Lock()
 	r.data = m.Data
 	r.got = true

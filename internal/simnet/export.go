@@ -1,0 +1,72 @@
+package simnet
+
+import (
+	"encoding/json"
+	"strconv"
+)
+
+// Chrome/Perfetto trace_event export: load the emitted JSON in
+// chrome://tracing or https://ui.perfetto.dev to inspect a timeline —
+// simulated or measured — interactively. The format is the "JSON Object
+// Format" of the trace_event spec: one process, one thread per rank,
+// complete ("X") events for each tile phase, timestamps in microseconds.
+
+type traceEventFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// TraceEventJSON renders the trace in Chrome trace_event JSON. Each rank
+// becomes a named thread; each tile contributes up to three complete
+// events (recv, compute, send). Zero-duration phases are skipped — the
+// viewers render them as zero-width slivers that only add noise.
+func (tr *Trace) TraceEventJSON() ([]byte, error) {
+	const usec = 1e6
+	f := traceEventFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	seen := map[int]bool{}
+	for _, e := range tr.Events {
+		if !seen[e.Rank] {
+			seen[e.Rank] = true
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name:  "thread_name",
+				Phase: "M",
+				Pid:   0,
+				Tid:   e.Rank,
+				Args:  map[string]any{"name": "rank " + strconv.Itoa(e.Rank)},
+			})
+		}
+		args := map[string]any{"tile": e.Tile, "waited_us": e.Waited * usec}
+		for _, ph := range []struct {
+			name       string
+			start, end float64
+		}{
+			{"recv", e.Start, e.RecvDone},
+			{"compute", e.RecvDone, e.CompDone},
+			{"send", e.CompDone, e.End},
+		} {
+			if ph.end <= ph.start {
+				continue
+			}
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name:  ph.name + " " + e.Tile,
+				Phase: "X",
+				Ts:    ph.start * usec,
+				Dur:   (ph.end - ph.start) * usec,
+				Pid:   0,
+				Tid:   e.Rank,
+				Args:  args,
+			})
+		}
+	}
+	return json.MarshalIndent(f, "", " ")
+}

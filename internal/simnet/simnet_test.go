@@ -1,4 +1,4 @@
-package simnet
+package simnet_test
 
 import (
 	"strings"
@@ -8,6 +8,7 @@ import (
 	"tilespace/internal/distrib"
 	"tilespace/internal/ilin"
 	"tilespace/internal/loopnest"
+	"tilespace/internal/simnet"
 	"tilespace/internal/tiling"
 )
 
@@ -30,8 +31,8 @@ func TestSimulateBasics(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := distFor(t, app, app.Rect.H(3, 6, 7))
-	par := FastEthernetPIII()
-	res, err := Simulate(d, par)
+	par := simnet.FastEthernetPIII()
+	res, err := simnet.Simulate(d, par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,13 +63,13 @@ func TestSimulateDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := distFor(t, app, app.NonRect[2].H(2, 4, 4))
-	par := FastEthernetPIII()
+	par := simnet.FastEthernetPIII()
 	par.Width = 2
-	r1, err := Simulate(d, par)
+	r1, err := simnet.Simulate(d, par)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Simulate(d, par)
+	r2, err := simnet.Simulate(d, par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestSingleProcessorSpeedupIsOne(t *testing.T) {
 	if d.NumProcs() != 1 {
 		t.Fatalf("procs = %d", d.NumProcs())
 	}
-	res, err := Simulate(d, FastEthernetPIII())
+	res, err := simnet.Simulate(d, simnet.FastEthernetPIII())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,12 +113,12 @@ func TestNonRectBeatsRect(t *testing.T) {
 		t.Fatal(err)
 	}
 	const x, y, z = 3, 9, 8
-	par := FastEthernetPIII()
-	rect, err := Simulate(distFor(t, app, app.Rect.H(x, y, z)), par)
+	par := simnet.FastEthernetPIII()
+	rect, err := simnet.Simulate(distFor(t, app, app.Rect.H(x, y, z)), par)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nr, err := Simulate(distFor(t, app, app.NonRect[0].H(x, y, z)), par)
+	nr, err := simnet.Simulate(distFor(t, app, app.NonRect[0].H(x, y, z)), par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,12 +144,12 @@ func TestADIOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 	const x, y, z = 4, 4, 4
-	par := FastEthernetPIII()
+	par := simnet.FastEthernetPIII()
 	par.Width = 2
 	times := map[string]float64{}
 	families := append([]apps.TilingFamily{app.Rect}, app.NonRect...)
 	for _, f := range families {
-		res, err := Simulate(distFor(t, app, f.H(x, y, z)), par)
+		res, err := simnet.Simulate(distFor(t, app, f.H(x, y, z)), par)
 		if err != nil {
 			t.Fatalf("%s: %v", f.Name, err)
 		}
@@ -169,13 +170,13 @@ func TestOverlapAtLeastAsFast(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := distFor(t, app, app.Rect.H(2, 8, 4))
-	par := FastEthernetPIII()
-	blocking, err := Simulate(d, par)
+	par := simnet.FastEthernetPIII()
+	blocking, err := simnet.Simulate(d, par)
 	if err != nil {
 		t.Fatal(err)
 	}
 	par.Overlap = true
-	overlapped, err := Simulate(d, par)
+	overlapped, err := simnet.Simulate(d, par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestStepsMatchTheory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Simulate(d, FastEthernetPIII())
+	res, err := simnet.Simulate(d, simnet.FastEthernetPIII())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,19 +214,19 @@ func TestParamValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := distFor(t, app, app.Rect.H(2, 4, 4))
-	bad := FastEthernetPIII()
+	bad := simnet.FastEthernetPIII()
 	bad.IterTime = 0
-	if _, err := Simulate(d, bad); err == nil {
+	if _, err := simnet.Simulate(d, bad); err == nil {
 		t.Error("zero IterTime not rejected")
 	}
-	bad = FastEthernetPIII()
+	bad = simnet.FastEthernetPIII()
 	bad.Latency = -1
-	if _, err := Simulate(d, bad); err == nil {
+	if _, err := simnet.Simulate(d, bad); err == nil {
 		t.Error("negative latency not rejected")
 	}
-	bad = FastEthernetPIII()
+	bad = simnet.FastEthernetPIII()
 	bad.Width = 0
-	if _, err := Simulate(d, bad); err == nil {
+	if _, err := simnet.Simulate(d, bad); err == nil {
 		t.Error("zero width not rejected")
 	}
 }
@@ -236,12 +237,12 @@ func TestLargerTilesFewerMessages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par := FastEthernetPIII()
-	small, err := Simulate(distFor(t, app, app.Rect.H(2, 8, 2)), par)
+	par := simnet.FastEthernetPIII()
+	small, err := simnet.Simulate(distFor(t, app, app.Rect.H(2, 8, 2)), par)
 	if err != nil {
 		t.Fatal(err)
 	}
-	large, err := Simulate(distFor(t, app, app.Rect.H(2, 8, 8)), par)
+	large, err := simnet.Simulate(distFor(t, app, app.Rect.H(2, 8, 8)), par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestSimulateTraced(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := distFor(t, app, app.NonRect[0].H(2, 8, 4))
-	tr, err := SimulateTraced(d, FastEthernetPIII())
+	tr, err := simnet.SimulateTraced(d, simnet.FastEthernetPIII())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestSimulateTraced(t *testing.T) {
 		t.Error("PerRankIdle length mismatch")
 	}
 	// The traced run must not perturb the untraced result.
-	plain, err := Simulate(d, FastEthernetPIII())
+	plain, err := simnet.Simulate(d, simnet.FastEthernetPIII())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestSimulateTraced(t *testing.T) {
 }
 
 func TestGanttEmptyAndTiny(t *testing.T) {
-	tr := &Trace{Result: &Result{}}
+	tr := &simnet.Trace{Result: &simnet.Result{}}
 	if !strings.Contains(tr.Gantt(5), "empty") {
 		t.Error("empty trace rendering")
 	}

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -61,10 +62,24 @@ func (tr *Trace) Gantt(width int) string {
 			maxRank = e.Rank
 		}
 	}
+	// Segment starts floor into [0, width-1]; segment ends ceil into
+	// [0, width], so an event ending exactly at Makespan paints the last
+	// cell instead of stopping one short (paint's bounds check keeps an
+	// end column of width in range).
 	col := func(t float64) int {
 		c := int(t / makespan * float64(width))
 		if c >= width {
 			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	colEnd := func(t float64) int {
+		c := int(math.Ceil(t / makespan * float64(width)))
+		if c > width {
+			c = width
 		}
 		if c < 0 {
 			c = 0
@@ -81,9 +96,9 @@ func (tr *Trace) Gantt(width int) string {
 		evs := ranks[r]
 		sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
 		for _, e := range evs {
-			paint(row, col(e.Start), col(e.RecvDone), 'r')
-			paint(row, col(e.RecvDone), col(e.CompDone), 'C')
-			paint(row, col(e.CompDone), col(e.End), 's')
+			paint(row, col(e.Start), colEnd(e.RecvDone), 'r')
+			paint(row, col(e.RecvDone), colEnd(e.CompDone), 'C')
+			paint(row, col(e.CompDone), colEnd(e.End), 's')
 		}
 		fmt.Fprintf(&b, "rank %3d |%s|\n", r, row)
 	}
@@ -119,6 +134,78 @@ func (tr *Trace) CriticalRank() (rank int, idleFrac float64) {
 		idleFrac = s.waited / s.end
 	}
 	return rank, idleFrac
+}
+
+// PhaseSplit is one rank's share of the makespan by phase, all expressed
+// as fractions of Makespan: Wait (blocked on receives), Recv (unpack work
+// outside the wait), Compute, Send, and Idle (the remainder — pipeline
+// fill before the first tile and drain after the last).
+type PhaseSplit struct {
+	Rank    int
+	Wait    float64
+	Recv    float64
+	Compute float64
+	Send    float64
+	Idle    float64
+}
+
+// PhaseFractions splits each rank's timeline into phase fractions of the
+// makespan. It works identically for simulated and measured traces, which
+// is what makes the cost model directly comparable to the real runtime.
+func (tr *Trace) PhaseFractions() []PhaseSplit {
+	mk := 0.0
+	if tr.Result != nil {
+		mk = tr.Result.Makespan
+	}
+	maxRank := 0
+	for _, e := range tr.Events {
+		if e.Rank > maxRank {
+			maxRank = e.Rank
+		}
+		if e.End > mk {
+			mk = e.End
+		}
+	}
+	out := make([]PhaseSplit, maxRank+1)
+	for r := range out {
+		out[r].Rank = r
+	}
+	if mk <= 0 {
+		return out
+	}
+	for _, e := range tr.Events {
+		s := &out[e.Rank]
+		s.Wait += e.Waited / mk
+		if un := (e.RecvDone - e.Start - e.Waited) / mk; un > 0 {
+			s.Recv += un
+		}
+		s.Compute += (e.CompDone - e.RecvDone) / mk
+		s.Send += (e.End - e.CompDone) / mk
+	}
+	for r := range out {
+		s := &out[r]
+		if idle := 1 - s.Wait - s.Recv - s.Compute - s.Send; idle > 0 {
+			s.Idle = idle
+		}
+	}
+	return out
+}
+
+// ComputeWaitFractions reduces PhaseFractions to the two headline numbers
+// of the measured-vs-simulated comparison: the machine-wide fraction of
+// processor-time spent computing, and the fraction spent stalled
+// (receive-wait plus idle fill/drain).
+func (tr *Trace) ComputeWaitFractions() (compute, wait float64) {
+	fr := tr.PhaseFractions()
+	if len(fr) == 0 {
+		return 0, 0
+	}
+	for _, s := range fr {
+		compute += s.Compute
+		wait += s.Wait + s.Idle
+	}
+	n := float64(len(fr))
+	return compute / n, wait / n
 }
 
 // PerRankIdle sums each rank's receive-wait time.

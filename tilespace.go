@@ -327,12 +327,25 @@ func (p *Program) RunParallel() (*Result, error) {
 }
 
 // RunOptions selects the parallel execution strategy (re-exported):
-// Overlap switches sends to non-blocking Isends drained at chain end, and
-// Net configures the runtime's deadlock watchdog and injected wire costs.
+// Overlap switches sends to non-blocking Isends drained at chain end, Net
+// configures the runtime's deadlock watchdog and injected wire costs, and
+// Trace attaches a measured per-tile timeline recorder.
 type RunOptions = exec.RunOptions
 
 // NetOptions configures the runtime world (re-exported from mpi).
 type NetOptions = mpi.Options
+
+// Tracer records a measured per-rank timeline of a real parallel run
+// (re-exported); attach one via RunOptions.Trace. Its Trace() method
+// returns a SimTrace, so every simulator analytic — Gantt, CriticalRank,
+// PhaseFractions, TraceEventJSON — works over measurements too.
+type Tracer = exec.Tracer
+
+// NewTracer returns an empty tracer ready for RunOptions.Trace.
+func NewTracer() *Tracer { return exec.NewTracer() }
+
+// RankMetrics is one rank's aggregate measured behaviour (re-exported).
+type RankMetrics = exec.RankMetrics
 
 // RunParallelOpts is RunParallel with an explicit execution strategy.
 func (p *Program) RunParallelOpts(opt RunOptions) (*Result, error) {
