@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	tilec -spec nest.json [-o out.c] [-report] [-sim]
+//	tilec -spec nest.json [-o out.c] [-report] [-sim] [-verify]
 //	tilec -app sor -space 100,200 -factors 50,38,10 -family nr [-o out.c]
 //
 // Spec format (JSON):
@@ -98,6 +98,7 @@ func main() {
 		report   = flag.Bool("report", true, "print the compile-time analysis report")
 		sim      = flag.Bool("sim", false, "simulate on the FastEthernet/PIII cluster model")
 		emit     = flag.Bool("emit", true, "emit the generated C program")
+		doVerify = flag.Bool("verify", false, "statically certify the compiled program (comm exactness, deadlock-freedom, LDS bounds) before emission")
 		suggest  = flag.Bool("suggest", false, "search rectangular and cone-derived tilings and report the ranking")
 		gantt    = flag.Bool("gantt", false, "render a per-processor timeline of the simulated execution")
 	)
@@ -125,6 +126,13 @@ func main() {
 
 	if *report {
 		fmt.Fprintln(os.Stderr, prog.Report())
+	}
+	if *doVerify {
+		rep, err := prog.Verify()
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintln(os.Stderr, rep)
 	}
 	if *suggest {
 		runSuggest(prog)

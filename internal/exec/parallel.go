@@ -10,6 +10,7 @@ import (
 	"tilespace/internal/distrib"
 	"tilespace/internal/ilin"
 	"tilespace/internal/mpi"
+	"tilespace/internal/verify"
 )
 
 // RunOptions selects the communication strategy for RunParallel.
@@ -33,6 +34,13 @@ type RunOptions struct {
 	// communication-bound; with it, compute–communication overlap is
 	// measurable at the modelled ratio. Zero injects nothing.
 	PointDelay time.Duration
+	// Verify runs the static certifier (internal/verify) over the
+	// compiled program before any rank starts: comm-set exactness,
+	// deadlock-freedom and LDS bounds safety are proved by pure
+	// arithmetic, and a disproof aborts the run with a counterexample
+	// point instead of computing wrong values or hanging. The proof
+	// covers both the blocking and the overlap mode.
+	Verify bool
 	// Legacy disables the compiled tile plans and runs the reference
 	// executor: per-point Addresser evaluation (FloorDiv per dimension per
 	// read) and per-point region walks for pack and unpack. Results are
@@ -64,6 +72,11 @@ func (p *Program) RunParallel() (*Global, mpi.Stats, error) {
 
 // RunParallelOpts is RunParallel with an explicit execution strategy.
 func (p *Program) RunParallelOpts(opt RunOptions) (*Global, mpi.Stats, error) {
+	if opt.Verify {
+		if _, err := verify.Certify(p.TS, p.Dist); err != nil {
+			return nil, mpi.Stats{}, err
+		}
+	}
 	lo, hi, err := p.TS.Nest.BoundingBox()
 	if err != nil {
 		return nil, mpi.Stats{}, err

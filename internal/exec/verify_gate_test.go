@@ -1,0 +1,38 @@
+package exec_test
+
+import (
+	"testing"
+
+	"tilespace/internal/apps"
+	"tilespace/internal/exec"
+	"tilespace/internal/tiling"
+)
+
+// TestRunParallelVerifyGate exercises the opt-in pre-run certification:
+// a sound program runs (and matches the sequential oracle) with the gate
+// on, proving the gate does not reject correct plans.
+func TestRunParallelVerifyGate(t *testing.T) {
+	app, err := apps.SOR(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := tiling.Analyze(app.Nest, app.Rect.H(2, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := exec.NewProgram(ts, app.MapDim, app.Width, app.Kernel, app.Initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := p.RunSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := p.RunParallelOpts(exec.RunOptions{Verify: true})
+	if err != nil {
+		t.Fatalf("verified run: %v", err)
+	}
+	if diff, at := seq.MaxAbsDiff(g, p.ScanSpace); diff != 0 {
+		t.Fatalf("verified run differs from sequential by %g at %v", diff, at)
+	}
+}

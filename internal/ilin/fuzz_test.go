@@ -1,0 +1,111 @@
+package ilin
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// decodeInt64s splits fuzz bytes into little-endian int64 components
+// (at most max of them, so the harness stays fast on giant inputs).
+func decodeInt64s(data []byte, max int) []int64 {
+	var xs []int64
+	for len(data) >= 8 && len(xs) < max {
+		xs = append(xs, int64(binary.LittleEndian.Uint64(data)))
+		data = data[8:]
+	}
+	return xs
+}
+
+// FuzzHashInt64s checks the algebra the plan caches rely on: the hash is
+// a pure function of the component values (stable across calls and
+// slice identity), folds incrementally (hashing a prefix then the rest
+// equals hashing the whole), and VecHash keeps its documented
+// length-prefix definition so persisted hashes stay comparable.
+func FuzzHashInt64s(f *testing.F) {
+	f.Add([]byte{}, uint(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint(0))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1, 0, 0, 0, 0, 0, 0, 0}, uint(1))
+	f.Add([]byte("tile coordinates fold byte by byte!!"), uint(2))
+	f.Fuzz(func(t *testing.T, data []byte, split uint) {
+		xs := decodeInt64s(data, 64)
+		h := HashInt64s(HashSeed(), xs)
+
+		clone := append([]int64(nil), xs...)
+		if got := HashInt64s(HashSeed(), clone); got != h {
+			t.Fatalf("hash not stable: %#x then %#x for %v", h, got, xs)
+		}
+
+		k := 0
+		if len(xs) > 0 {
+			k = int(split % uint(len(xs)+1))
+		}
+		if got := HashInt64s(HashInt64s(HashSeed(), xs[:k]), xs[k:]); got != h {
+			t.Fatalf("hash not incremental at split %d: %#x vs %#x for %v", k, got, h, xs)
+		}
+
+		want := HashInt64s(HashInt64(HashSeed(), int64(len(xs))), xs)
+		if got := VecHash(Vec(xs)); got != want {
+			t.Fatalf("VecHash diverged from its length-prefixed definition: %#x vs %#x", got, want)
+		}
+	})
+}
+
+// FuzzBoxIndexer checks the indexer's perfect-hash contract on arbitrary
+// 3-D boxes: in-box vectors index into [0, Size) with no collisions
+// (every cell of small boxes gets a distinct index, and the full range is
+// covered), and out-of-box vectors are rejected.
+func FuzzBoxIndexer(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(0), uint8(1), uint8(1), uint8(1), int64(0), int64(0), int64(0))
+	f.Add(int64(-3), int64(5), int64(100), uint8(4), uint8(1), uint8(7), int64(-3), int64(5), int64(106))
+	f.Add(int64(9), int64(-9), int64(0), uint8(2), uint8(3), uint8(5), int64(10), int64(-8), int64(2))
+	f.Fuzz(func(t *testing.T, lo0, lo1, lo2 int64, e0, e1, e2 uint8, v0, v1, v2 int64) {
+		// Cap the origin and extents so strides cannot overflow int64.
+		lo := Vec{lo0 % 1_000_000, lo1 % 1_000_000, lo2 % 1_000_000}
+		ext := Vec{int64(e0%16) + 1, int64(e1%16) + 1, int64(e2%16) + 1}
+		hi := Vec{lo[0] + ext[0] - 1, lo[1] + ext[1] - 1, lo[2] + ext[2] - 1}
+		b := NewBoxIndexer(lo, hi)
+
+		if want := ext[0] * ext[1] * ext[2]; b.Size() != want {
+			t.Fatalf("Size() = %d, want %d for box %v..%v", b.Size(), want, lo, hi)
+		}
+
+		v := Vec{v0, v1, v2}
+		inside := true
+		for k := range v {
+			if v[k] < lo[k] || v[k] > hi[k] {
+				inside = false
+			}
+		}
+		idx, ok := b.Index(v)
+		if ok != inside {
+			t.Fatalf("Index(%v) ok=%v, but box %v..%v containment is %v", v, ok, lo, hi, inside)
+		}
+		if ok && (idx < 0 || idx >= b.Size()) {
+			t.Fatalf("Index(%v) = %d outside [0, %d)", v, idx, b.Size())
+		}
+
+		// Perfect-hash proof: enumerate every cell (extents are ≤16 per
+		// dim, so at most 4096 cells) and demand distinct indices covering
+		// [0, Size) exactly — no collisions anywhere inside the box.
+		seen := make([]bool, b.Size())
+		for x := lo[0]; x <= hi[0]; x++ {
+			for y := lo[1]; y <= hi[1]; y++ {
+				for z := lo[2]; z <= hi[2]; z++ {
+					i, ok := b.Index(Vec{x, y, z})
+					if !ok {
+						t.Fatalf("in-box vector [%d %d %d] rejected", x, y, z)
+					}
+					if seen[i] {
+						t.Fatalf("index collision at [%d %d %d]: linear index %d already used", x, y, z, i)
+					}
+					seen[i] = true
+				}
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("linear index %d never produced: indexer is not onto [0, %d)", i, b.Size())
+			}
+		}
+	})
+}

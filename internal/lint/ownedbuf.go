@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// OwnedBuf flags any read, write or append of a slice variable after it
+// was passed to SendOwned/IsendOwned in the same block. Those calls
+// transfer ownership of the backing array to the runtime (the receiver
+// unpacks it without a copy), so every later use races with the
+// receiver. The check is block-scoped — a use in a sibling branch is not
+// sequentially after the send — and a whole-variable reassignment
+// (`buf = pool.get()`) ends the taint, because the variable then names a
+// fresh array.
+var OwnedBuf = &Analyzer{
+	Name: "ownedbuf",
+	Doc:  "flags uses of a slice after its ownership was transferred via SendOwned/IsendOwned",
+	Run:  runOwnedBuf,
+}
+
+func runOwnedBuf(pass *Pass) error {
+	scanSeq := func(stmts []ast.Stmt) {
+		for i, stmt := range stmts {
+			for _, sent := range ownedSends(pass, stmt) {
+				pos, name := scanAfterSend(pass, stmts[i+1:], sent)
+				if pos != token.NoPos {
+					pass.Reportf(pos, "%s is used after being passed to %s: the runtime owns its backing array", sent.arg, name)
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Statement sequences come in three flavors; switch/select
+			// bodies are NOT one — their elements are mutually exclusive
+			// clauses, so taint must not flow clause-to-clause.
+			switch seq := n.(type) {
+			case *ast.BlockStmt:
+				if len(seq.List) > 0 {
+					switch seq.List[0].(type) {
+					case *ast.CaseClause, *ast.CommClause:
+						return true
+					}
+				}
+				scanSeq(seq.List)
+			case *ast.CaseClause:
+				scanSeq(seq.Body)
+			case *ast.CommClause:
+				scanSeq(seq.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type ownedSend struct {
+	arg    string
+	obj    types.Object
+	method string
+}
+
+// ownedSends finds SendOwned/IsendOwned calls anywhere in stmt whose
+// buffer argument is a plain identifier.
+func ownedSends(pass *Pass, stmt ast.Stmt) []ownedSend {
+	var out []ownedSend
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, _ := methodName(call)
+		if (name != "SendOwned" && name != "IsendOwned") || len(call.Args) == 0 {
+			return true
+		}
+		id, ok := call.Args[len(call.Args)-1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.Info.Uses[id]; obj != nil {
+			out = append(out, ownedSend{arg: id.Name, obj: obj, method: name})
+		}
+		return true
+	})
+	return out
+}
+
+// scanAfterSend walks the statements after the send in the same block and
+// returns the first use of the sent variable (token.NoPos when the taint
+// is killed by reassignment or the block ends first).
+func scanAfterSend(pass *Pass, rest []ast.Stmt, sent ownedSend) (token.Pos, string) {
+	for _, stmt := range rest {
+		if pos := firstUse(pass, stmt, sent.obj); pos != token.NoPos {
+			return pos, sent.method
+		}
+		if reassignsWhole(pass, stmt, sent.obj) {
+			return token.NoPos, ""
+		}
+	}
+	return token.NoPos, ""
+}
+
+// firstUse returns the position of the first read of obj inside stmt.
+// A bare identifier on the left of `=` is a whole-variable store, not a
+// read, and `len(buf)`/`cap(buf)` read only the (copied) slice header —
+// neither touches the transferred backing array. Everything else —
+// including `buf[i] = x` and `buf = append(buf, …)` — counts.
+func firstUse(pass *Pass, stmt ast.Stmt, obj types.Object) token.Pos {
+	storeOnly := map[*ast.Ident]bool{}
+	if as, ok := stmt.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				storeOnly[id] = true
+			}
+		}
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		if fun, ok := call.Fun.(*ast.Ident); ok && (fun.Name == "len" || fun.Name == "cap") {
+			if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); isBuiltin {
+				if id, ok := call.Args[0].(*ast.Ident); ok {
+					storeOnly[id] = true
+				}
+			}
+		}
+		return true
+	})
+	found := token.NoPos
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found != token.NoPos {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || storeOnly[id] {
+			return true
+		}
+		if pass.Info.Uses[id] == obj {
+			found = id.Pos()
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// reassignsWhole reports whether stmt assigns a fresh value to the whole
+// variable (`buf = …` with a bare identifier LHS), which ends the taint.
+func reassignsWhole(pass *Pass, stmt ast.Stmt, obj types.Object) bool {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+// Package fixture exercises the traceguard analyzer. It is self-contained
+// (no imports) so the test harness can type-check it without an importer.
+package fixture
+
+type tracer struct{ n int }
+
+func (t *tracer) note(k int) { t.n += k }
+
+// chain calls methods on its own receiver: exempt, a method is entitled
+// to assume it was invoked on the value it hangs off.
+func (t *tracer) chain(k int) {
+	t.note(k)
+}
+
+// safeNote guards its own receiver, so callers may invoke it on nil.
+func (t *tracer) safeNote(k int) {
+	if t == nil {
+		return
+	}
+	t.n += k
+}
+
+type rankTracer struct{ depth int }
+
+func (rt *rankTracer) push() { rt.depth++ }
+
+type state struct {
+	tr   *tracer
+	rank int
+}
+
+type options struct {
+	Trace *rankTracer
+}
+
+func unguarded(st *state) {
+	st.tr.note(1) // want "call to note on possibly-nil tracer st.tr"
+}
+
+func unguardedParam(t *tracer) {
+	t.note(1) // want "call to note on possibly-nil tracer t"
+}
+
+func unguardedRankTracer(opt *options) {
+	opt.Trace.push() // want "call to push on possibly-nil tracer opt.Trace"
+}
+
+func guarded(st *state) {
+	if st.tr != nil {
+		st.tr.note(1)
+	}
+}
+
+func guardedConjunct(st *state, flag bool) {
+	if flag && st.tr != nil {
+		st.tr.note(1)
+	}
+}
+
+func earlyReturn(st *state) {
+	if st.tr == nil {
+		return
+	}
+	st.tr.note(1)
+}
+
+func elseOfNilCheck(st *state) {
+	if st.tr == nil {
+		st.rank = -1
+	} else {
+		st.tr.note(1)
+	}
+}
+
+func nilSafeCallee(st *state) {
+	st.tr.safeNote(1)
+}
+
+func localIsExempt() int {
+	t := &tracer{}
+	t.note(2)
+	return t.n
+}
+
+// Reassigning the receiver inside the guarded region discards the proof.
+func guardThenClobber(st *state, other *tracer) {
+	if st.tr != nil {
+		st.tr = other
+		st.tr.note(1) // want "call to note on possibly-nil tracer st.tr"
+	}
+}
+
+// A closure may run long after the guard that dominated its creation.
+func closureEscapesGuard(st *state, run func(func())) {
+	if st.tr != nil {
+		run(func() {
+			st.tr.note(1) // want "call to note on possibly-nil tracer st.tr"
+		})
+	}
+}
+
+// The guard proves the deeper field too once spelled the same way.
+func deepGuard(st *state, opt *options) {
+	if opt.Trace != nil && st.tr != nil {
+		opt.Trace.push()
+		st.tr.note(1)
+	}
+}

@@ -202,6 +202,7 @@ func TestRaceStatsDuringTraffic(t *testing.T) {
 				if i%2 == 0 {
 					c.Send(1, 0, []float64{1})
 				} else {
+					//lint:ignore waitcheck shutdown-flush of unwaited requests is part of the stress
 					c.Isend(1, 0, []float64{1})
 				}
 			}

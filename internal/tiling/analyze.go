@@ -50,7 +50,7 @@ func Analyze(nest *loopnest.Nest, h *ilin.RatMat) (*TiledSpace, error) {
 		return nil, fmt.Errorf("tiling: H is %d-dimensional, nest is %d-dimensional", t.N, nest.N)
 	}
 	if !t.Legal(nest.Deps) {
-		return nil, fmt.Errorf("tiling: illegal transformation: H·D has negative entries (some dependence crosses tiles backwards)")
+		return nil, ErrIllegalTransform()
 	}
 	ts := &TiledSpace{T: t, Nest: nest}
 
@@ -63,7 +63,7 @@ func Analyze(nest *loopnest.Nest, h *ilin.RatMat) (*TiledSpace, error) {
 	ts.CC = t.CommVector(nest.Deps)
 	for k := 0; k < t.N; k++ {
 		if ts.MaxDP[k] > t.V[k] {
-			return nil, fmt.Errorf("tiling: dependence reach %d exceeds tile extent v_%d = %d; enlarge the tile along dimension %d", ts.MaxDP[k], k+1, t.V[k], k+1)
+			return nil, ErrDependenceReach(ts.MaxDP[k], int64(k), t.V[k])
 		}
 	}
 	if err := ts.computeTileDeps(); err != nil {
@@ -274,11 +274,11 @@ func (ts *TiledSpace) computeTileDeps() error {
 	for _, d := range ts.DS {
 		for k := 0; k < n; k++ {
 			if d[k] < 0 || d[k] > 1 {
-				return fmt.Errorf("tiling: tile dependence %v has component outside {0,1}; the tile is too small along dimension %d for the §3.2 communication scheme", d, k+1)
+				return ErrTileDepRange(d, k)
 			}
 		}
 		if !d.LexPositive() {
-			return fmt.Errorf("tiling: tile dependence %v is not lexicographically positive", d)
+			return ErrTileDepNotLexPositive(d)
 		}
 	}
 	return nil

@@ -1,0 +1,395 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"tilespace/internal/distrib"
+	"tilespace/internal/ilin"
+	"tilespace/internal/tiling"
+)
+
+// pointCoder maps global iteration points to nonzero int64 codes and
+// back. The box is the nest's bounding box padded by the maximum absolute
+// dependence component per dimension, so every read source — including
+// out-of-space points resolved by the Initial injection — has a code.
+// Code 0 is reserved for "cell never written".
+type pointCoder struct {
+	lo   ilin.Vec
+	dim  ilin.Vec
+	size int64
+}
+
+func newPointCoder(ts *tiling.TiledSpace) (*pointCoder, error) {
+	lo, hi, err := ts.Nest.BoundingBox()
+	if err != nil {
+		return nil, err
+	}
+	n := len(lo)
+	pad := make(ilin.Vec, n)
+	for l := 0; l < ts.Nest.Q(); l++ {
+		dep := ts.Nest.Dep(l)
+		for k := 0; k < n; k++ {
+			a := dep[k]
+			if a < 0 {
+				a = -a
+			}
+			if a > pad[k] {
+				pad[k] = a
+			}
+		}
+	}
+	c := &pointCoder{lo: make(ilin.Vec, n), dim: make(ilin.Vec, n), size: 1}
+	for k := 0; k < n; k++ {
+		c.lo[k] = lo[k] - pad[k]
+		c.dim[k] = hi[k] + pad[k] - c.lo[k] + 1
+		c.size *= c.dim[k]
+	}
+	return c, nil
+}
+
+// enc returns the (nonzero) code of point v, or 0 if v escapes the box
+// (cannot happen for points reachable through one dependence hop).
+func (c *pointCoder) enc(v ilin.Vec) int64 {
+	var idx int64
+	for k := range v {
+		x := v[k] - c.lo[k]
+		if x < 0 || x >= c.dim[k] {
+			return 0
+		}
+		idx = idx*c.dim[k] + x
+	}
+	return idx + 1
+}
+
+// dec inverts enc for display in counterexamples.
+func (c *pointCoder) dec(code int64) ilin.Vec {
+	idx := code - 1
+	v := make(ilin.Vec, len(c.dim))
+	for k := len(c.dim) - 1; k >= 0; k-- {
+		v[k] = idx%c.dim[k] + c.lo[k]
+		idx /= c.dim[k]
+	}
+	return v
+}
+
+func (c *pointCoder) describe(code int64) string {
+	if code == 0 {
+		return "no value (cell never written)"
+	}
+	return fmt.Sprintf("the value of iteration %v", c.dec(code))
+}
+
+// message is one in-flight payload on a (src, dst, tag) stream: the
+// sender tile and, per region point in scan order, the code of the
+// iteration whose value the sender packed.
+type message struct {
+	from    ilin.Vec
+	payload []int64
+}
+
+type stream struct {
+	src, dst, tag int
+}
+
+// replay executes the whole schedule symbolically, in lexicographic tile
+// order, with per-(src, dst, tag) FIFO message queues — the exact
+// semantics of the mpi package (per-pair-per-tag ordering, eager sends) —
+// and per-rank LDS content arrays holding iteration codes instead of
+// floats. Each tile runs the executor's receive → init → compute → send
+// phases; the compute step asserts that every dependence read resolves to
+// exactly the code of its source iteration. A pass proves comm-set
+// exactness constructively: no missing value (a miss surfaces as a wrong
+// or absent code at the reading point — the counterexample), no stale
+// reuse, FIFO consistency, and every send consumed. It is pure
+// arithmetic: no goroutines, no mpi.World.
+func replay(ts *tiling.TiledSpace, d *distrib.Distribution, rep *Report) error {
+	coder, err := newPointCoder(ts)
+	if err != nil {
+		return fmt.Errorf("verify: bounding box: %w", err)
+	}
+	n := ts.T.N
+	q := ts.Nest.Q()
+	deps := make([]ilin.Vec, q)
+	dps := make([]ilin.Vec, q)
+	for l := 0; l < q; l++ {
+		deps[l] = ts.Nest.Dep(l)
+		dps[l] = ts.DP.Col(l)
+	}
+	dmFulls := make([]ilin.Vec, len(d.DM))
+	for i, dm := range d.DM {
+		dmFulls[i] = dmFull(dm, d.M)
+	}
+	procs := d.NumProcs()
+	addrs := make([]*distrib.Addresser, procs)
+	sizes := make([]int64, procs)
+	content := make([][]int64, procs)
+	sendRank := make([][]int, procs)
+	recvRank := make([][]int, procs)
+	for r := 0; r < procs; r++ {
+		addrs[r] = d.Addresser(r)
+		sizes[r] = addrs[r].Size()
+		content[r] = make([]int64, sizes[r])
+		sendRank[r] = make([]int, len(d.DM))
+		recvRank[r] = make([]int, len(d.DM))
+		for i, dm := range d.DM {
+			sendRank[r][i] = -1
+			if rr, ok := d.Rank(d.Pids[r].Add(dm)); ok {
+				sendRank[r][i] = rr
+			}
+			recvRank[r][i] = -1
+			if rr, ok := d.Rank(d.Pids[r].Sub(dm)); ok {
+				recvRank[r][i] = rr
+			}
+		}
+	}
+	dsOrder := dsRecvOrder(ts, d.M)
+	dsDmIdx := dmIndexOf(d)
+	queues := map[stream][]message{}
+	owners := map[int64]int{}
+	src := make(ilin.Vec, n)
+
+	var vio *Violation
+	ts.ScanTiles(func(s ilin.Vec) bool {
+		r, ok := d.RankOfTile(s)
+		if !ok {
+			vio = &Violation{Rule: "coverage", Rank: -1, Tile: s.Clone(), Detail: "valid tile assigned to no processor"}
+			return false
+		}
+		t := s[d.M] - d.ChainStart[r]
+		addr := addrs[r]
+		rep.Tiles++
+
+		// RECEIVE — in the executor's dsOrder, asserting FIFO heads match.
+		for _, si := range dsOrder {
+			di := dsDmIdx[si]
+			if di < 0 {
+				continue
+			}
+			dS := ts.DS[si]
+			dm := d.DM[di]
+			pred := s.Sub(dS)
+			if !ts.ValidTile(pred) {
+				continue
+			}
+			if ms, ok := d.MinSucc(pred, dm); !ok || !ms.Equal(s) {
+				continue
+			}
+			cnt := d.CommRegionCount(pred, dm)
+			if cnt == 0 {
+				continue
+			}
+			from := recvRank[r][di]
+			if from < 0 {
+				vio = &Violation{
+					Rule: "schedule-edge", Rank: r, Tile: s.Clone(), Point: pred,
+					Detail: fmt.Sprintf("predecessor tile %v has no mapped rank at pid − %v", pred, dm),
+				}
+				return false
+			}
+			key := stream{from, r, di}
+			qu := queues[key]
+			if len(qu) == 0 {
+				vio = &Violation{
+					Rule: "deadlock", Rank: r, Tile: s.Clone(), Point: pred,
+					Detail: fmt.Sprintf("receive from rank %d (tag %d) blocks forever: the message of predecessor tile %v is never sent", from, di, pred),
+				}
+				return false
+			}
+			msg := qu[0]
+			queues[key] = qu[1:]
+			if !msg.from.Equal(pred) {
+				vio = &Violation{
+					Rule: "fifo-order", Rank: r, Tile: s.Clone(), Point: pred,
+					Detail: fmt.Sprintf("stream %d→%d tag %d delivers the message of tile %v where tile %v's predecessor message is expected", from, r, di, msg.from, pred),
+				}
+				return false
+			}
+			if int64(len(msg.payload)) != cnt {
+				vio = &Violation{
+					Rule: "comm-soundness", Rank: r, Tile: s.Clone(), Point: pred,
+					Detail: fmt.Sprintf("message from tile %v carries %d values, region holds %d", pred, len(msg.payload), cnt),
+				}
+				return false
+			}
+			tau := pred[d.M] - d.ChainStart[r]
+			i := 0
+			d.CommRegion(pred, dm, func(z, pp ilin.Vec) bool {
+				cell := addr.FlatUnpack(pp, dmFulls[di], tau)
+				g := ts.GlobalOf(pred, z)
+				if cell < 0 || cell >= sizes[r] {
+					vio = &Violation{
+						Rule: "lds-bounds", Rank: r, Tile: s.Clone(), Point: g,
+						Detail: fmt.Sprintf("unpack cell %d outside LDS [0, %d)", cell, sizes[r]),
+					}
+					return false
+				}
+				if want := coder.enc(g); msg.payload[i] != want {
+					vio = &Violation{
+						Rule: "comm-soundness", Rank: r, Tile: s.Clone(), Point: g,
+						Detail: fmt.Sprintf("received value #%d is %s, expected the value of iteration %v", i, coder.describe(msg.payload[i]), g),
+					}
+					return false
+				}
+				content[r][cell] = msg.payload[i]
+				i++
+				return true
+			})
+			if vio != nil {
+				return false
+			}
+		}
+
+		// INIT — inject codes for read sources outside the iteration
+		// space, exactly where the executor writes Initial values.
+		ts.ScanTilePoints(s, func(z, jp ilin.Vec) bool {
+			g := ts.GlobalOf(s, z)
+			for l := 0; l < q; l++ {
+				subInto(src, g, deps[l])
+				if ts.Nest.Space.Contains(src) {
+					continue
+				}
+				cell := addr.FlatRead(jp, dps[l], t)
+				if cell < 0 || cell >= sizes[r] {
+					vio = &Violation{
+						Rule: "lds-bounds", Rank: r, Tile: s.Clone(), Point: g,
+						Detail: fmt.Sprintf("initial-value cell %d (dependence d_%d) outside LDS [0, %d)", cell, l+1, sizes[r]),
+					}
+					return false
+				}
+				content[r][cell] = coder.enc(src)
+			}
+			return true
+		})
+		if vio != nil {
+			return false
+		}
+
+		// COMPUTE — every dependence read must resolve to the code of its
+		// source iteration; the write claims ownership of the point.
+		ts.ScanTilePoints(s, func(z, jp ilin.Vec) bool {
+			g := ts.GlobalOf(s, z)
+			for l := 0; l < q; l++ {
+				cell := addr.FlatRead(jp, dps[l], t)
+				subInto(src, g, deps[l])
+				if want := coder.enc(src); content[r][cell] != want {
+					vio = &Violation{
+						Rule: "comm-soundness", Rank: r, Tile: s.Clone(), Point: g.Clone(),
+						Detail: fmt.Sprintf("read through dependence d_%d resolves to LDS cell %d holding %s; expected the value of iteration %v", l+1, cell, coder.describe(content[r][cell]), src),
+					}
+					return false
+				}
+			}
+			wcell := addr.Flat(jp, t)
+			code := coder.enc(g)
+			if prev, dup := owners[code]; dup {
+				vio = &Violation{
+					Rule: "coverage", Rank: r, Tile: s.Clone(), Point: g.Clone(),
+					Detail: fmt.Sprintf("iteration computed twice (ranks %d and %d)", prev, r),
+				}
+				return false
+			}
+			owners[code] = r
+			content[r][wcell] = code
+			rep.Points++
+			rep.Checks += int64(q + 1)
+			return true
+		})
+		if vio != nil {
+			return false
+		}
+
+		// SEND — pack must carry exactly the region's freshly computed
+		// values, each LDS cell at most once per message.
+		for i, dm := range d.DM {
+			if !d.HasSuccessor(s, dm) {
+				continue
+			}
+			cnt := d.CommRegionCount(s, dm)
+			if cnt == 0 {
+				continue
+			}
+			dst := sendRank[r][i]
+			if dst < 0 {
+				vio = &Violation{
+					Rule: "schedule-edge", Rank: r, Tile: s.Clone(),
+					Detail: fmt.Sprintf("send along %v has no mapped destination rank", dm),
+				}
+				return false
+			}
+			payload := make([]int64, 0, cnt)
+			packed := make(map[int64]struct{}, cnt)
+			d.CommRegion(s, dm, func(z, jp ilin.Vec) bool {
+				cell := addr.Flat(jp, t)
+				g := ts.GlobalOf(s, z)
+				if _, dup := packed[cell]; dup {
+					vio = &Violation{
+						Rule: "comm-redundancy", Rank: r, Tile: s.Clone(), Point: g,
+						Detail: fmt.Sprintf("LDS cell %d packed twice into the %v message", cell, dm),
+					}
+					return false
+				}
+				packed[cell] = struct{}{}
+				if want := coder.enc(g); content[r][cell] != want {
+					vio = &Violation{
+						Rule: "comm-soundness", Rank: r, Tile: s.Clone(), Point: g,
+						Detail: fmt.Sprintf("packed value for iteration %v is %s", g, coder.describe(content[r][cell])),
+					}
+					return false
+				}
+				payload = append(payload, content[r][cell])
+				return true
+			})
+			if vio != nil {
+				return false
+			}
+			queues[stream{r, dst, i}] = append(queues[stream{r, dst, i}], message{from: s.Clone(), payload: payload})
+			rep.Values += cnt
+		}
+		return true
+	})
+	if vio != nil {
+		return vio
+	}
+
+	// Exactness epilogue: every sent message was consumed…
+	var leftover []stream
+	for key, qu := range queues {
+		if len(qu) > 0 {
+			leftover = append(leftover, key)
+		}
+	}
+	if len(leftover) > 0 {
+		sort.Slice(leftover, func(i, j int) bool {
+			a, b := leftover[i], leftover[j]
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			if a.dst != b.dst {
+				return a.dst < b.dst
+			}
+			return a.tag < b.tag
+		})
+		key := leftover[0]
+		msg := queues[key][0]
+		return &Violation{
+			Rule: "comm-redundancy", Rank: key.src, Tile: msg.from,
+			Detail: fmt.Sprintf("message from tile %v to rank %d (tag %d) is sent but never received", msg.from, key.dst, key.tag),
+		}
+	}
+	// …and every iteration of the space was computed exactly once.
+	if total, err := ts.Nest.Size(); err == nil && total != int64(len(owners)) {
+		return &Violation{
+			Rule: "coverage", Rank: -1,
+			Detail: fmt.Sprintf("%d of %d iterations computed", len(owners), total),
+		}
+	}
+	return nil
+}
+
+// subInto computes dst = a − b without allocating.
+func subInto(dst, a, b ilin.Vec) {
+	for k := range dst {
+		dst[k] = a[k] - b[k]
+	}
+}

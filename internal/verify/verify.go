@@ -1,0 +1,191 @@
+// Package verify is the static certification layer: it proves, by pure
+// ilin/distrib arithmetic over the compiled artifacts — no goroutines, no
+// mpi.World, no kernel execution — that a compiled tiled program is
+// correct before a single rank runs.
+//
+// Certify establishes three theorems per spec × tiling × rank-grid:
+//
+//  1. Comm-set exactness. The union of pack runs (distrib.CommRuns) of
+//     every (tile, processor-direction) message equals the dependence
+//     footprint crossing that tile face: every value a remote iteration
+//     reads is packed (soundness) and no LDS cell is packed twice
+//     (non-redundancy). Proved constructively by a symbolic replay of the
+//     whole schedule (see replay.go) plus the per-shape run checks in
+//     runs.go.
+//
+//  2. Deadlock-freedom. The send/receive pattern implied by the tile
+//     schedule embeds into lexicographic tile time: every message flows
+//     from a lex-earlier to a lex-later tile and each rank's chain is lex-
+//     ascending, so global lex order is a topological execution order.
+//     Because sends are eager (buffered) in both the blocking and the
+//     overlap mode — Send enqueues, Isend hands off to the NIC — only
+//     receives block, and the embedding rules out any receive-wait cycle.
+//     The replay additionally proves every posted receive has a matching
+//     in-order send (no rank blocks forever on a message never sent).
+//
+//  3. LDS bounds safety. Every strength-reduced address program the plan
+//     compiler emits (Addresser.ChainStep / DirShift chains) both agrees
+//     exactly with the reference map()/map⁻¹ addressing and stays inside
+//     the allocated LDS box, for the interior shape and every boundary
+//     shape, at every chain slot where the shape occurs.
+//
+// A failed proof is reported as a *Violation carrying the offending rank,
+// tile and a concrete counterexample point, so the diagnostic names the
+// exact iteration (or LDS cell) that would have been computed wrongly.
+// Certify also re-proves the analysis-time facts (legality H·D ≥ 0,
+// dependence reach, tile-dependence range) with the exact diagnostics
+// tiling.Analyze uses, so the two layers share one vocabulary.
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"tilespace/internal/distrib"
+	"tilespace/internal/ilin"
+	"tilespace/internal/tiling"
+)
+
+// Violation is one disproved certification claim. Rule names the theorem
+// ("comm-soundness", "comm-redundancy", "fifo-order", "deadlock",
+// "schedule-edge", "lds-bounds", "address-program", "coverage"), and
+// Point is the concrete counterexample — a global iteration point, or the
+// predecessor tile / LDS cell named in Detail when no single iteration
+// identifies the failure.
+type Violation struct {
+	Rule   string
+	Rank   int      // offending rank, -1 when not rank-specific
+	Tile   ilin.Vec // offending tile, nil when not tile-specific
+	Point  ilin.Vec // counterexample point
+	Detail string
+}
+
+// Error renders the violation with its counterexample.
+func (v *Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verify: %s violated", v.Rule)
+	if v.Rank >= 0 {
+		fmt.Fprintf(&b, " on rank %d", v.Rank)
+	}
+	if v.Tile != nil {
+		fmt.Fprintf(&b, " at tile %v", v.Tile)
+	}
+	if v.Point != nil {
+		fmt.Fprintf(&b, ", counterexample point %v", v.Point)
+	}
+	if v.Detail != "" {
+		fmt.Fprintf(&b, ": %s", v.Detail)
+	}
+	return b.String()
+}
+
+// Report summarizes what a successful certification covered.
+type Report struct {
+	Procs    int
+	Tiles    int64
+	Points   int64 // iteration points replayed
+	Messages int64 // schedule messages proved exact
+	Values   int64 // values carried by those messages
+	Checks   int64 // individual address/bounds/identity facts proved
+	Shapes   int   // distinct clamped tile shapes certified
+}
+
+// String renders the coverage summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("verified: %d procs, %d tiles / %d points, %d messages / %d values exact, %d shapes, %d address facts",
+		r.Procs, r.Tiles, r.Points, r.Messages, r.Values, r.Shapes, r.Checks)
+}
+
+// Certify proves the three certification theorems for the compiled
+// program (ts, d). It returns a coverage report on success and the first
+// *Violation (with a counterexample point) on failure.
+func Certify(ts *tiling.TiledSpace, d *distrib.Distribution) (*Report, error) {
+	rep := &Report{Procs: d.NumProcs()}
+	if err := checkAnalysisFacts(ts); err != nil {
+		return nil, err
+	}
+	edges := ScheduleEdges(d)
+	if err := CheckSchedule(d, edges); err != nil {
+		return nil, err
+	}
+	rep.Messages = int64(len(edges))
+	if err := checkPlans(ts, d, rep); err != nil {
+		return nil, err
+	}
+	if err := replay(ts, d, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// checkAnalysisFacts re-proves the facts tiling.Analyze established, with
+// the same diagnostics (shared via tiling's error constructors), guarding
+// against a TiledSpace mutated after analysis.
+func checkAnalysisFacts(ts *tiling.TiledSpace) error {
+	if !ts.T.Legal(ts.Nest.Deps) {
+		return tiling.ErrIllegalTransform()
+	}
+	for k := 0; k < ts.T.N; k++ {
+		if ts.MaxDP[k] > ts.T.V[k] {
+			return tiling.ErrDependenceReach(ts.MaxDP[k], int64(k), ts.T.V[k])
+		}
+	}
+	for _, dS := range ts.DS {
+		for k := 0; k < ts.T.N; k++ {
+			if dS[k] < 0 || dS[k] > 1 {
+				return tiling.ErrTileDepRange(dS, k)
+			}
+		}
+		if !dS.LexPositive() {
+			return tiling.ErrTileDepNotLexPositive(dS)
+		}
+	}
+	return nil
+}
+
+// dmFull re-inserts the mapping dimension (as 0) into a processor
+// direction, mirroring the executor's table construction.
+func dmFull(dm ilin.Vec, m int) ilin.Vec {
+	out := make(ilin.Vec, 0, len(dm)+1)
+	out = append(out, dm[:m]...)
+	out = append(out, 0)
+	return append(out, dm[m:]...)
+}
+
+// dsRecvOrder returns tile-dependence indices in the executor's receive
+// processing order: descending d^S_m, i.e. ascending predecessor m, which
+// matches per-stream FIFO emission order on the sending rank.
+func dsRecvOrder(ts *tiling.TiledSpace, m int) []int {
+	order := make([]int, len(ts.DS))
+	for i := range order {
+		order[i] = i
+	}
+	// Stable insertion sort (matches sort.SliceStable semantics without
+	// allocating closures in a hot loop; the list is tiny).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && ts.DS[order[j]][m] > ts.DS[order[j-1]][m]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// dmIndexOf maps each tile dependence to its processor-direction index in
+// d.DM (-1 for the intra-processor direction).
+func dmIndexOf(d *distrib.Distribution) []int {
+	idx := make([]int, len(d.TS.DS))
+	for i, dS := range d.TS.DS {
+		idx[i] = -1
+		dm := d.DmOf(dS)
+		if dm.IsZero() {
+			continue
+		}
+		for k, v := range d.DM {
+			if v.Equal(dm) {
+				idx[i] = k
+				break
+			}
+		}
+	}
+	return idx
+}

@@ -1,0 +1,233 @@
+package verify_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"tilespace/internal/apps"
+	"tilespace/internal/distrib"
+	"tilespace/internal/ilin"
+	"tilespace/internal/tiling"
+	"tilespace/internal/verify"
+)
+
+type matrixCase struct {
+	name string
+	ts   *tiling.TiledSpace
+	d    *distrib.Distribution
+}
+
+// matrixCases builds the full app × tiling matrix of the differential
+// suite (SOR, Jacobi, ADI, Heat3D × rect and every cone-derived family).
+// The certifier's schedule and comm proofs cover blocking and overlap
+// modes at once: the two modes share the identical send/recv pattern and
+// differ only in Send vs Isend, both eager.
+func matrixCases(t *testing.T) []matrixCase {
+	t.Helper()
+	var out []matrixCase
+	add := func(name string, app *apps.App, err error, fam apps.TilingFamily, x, y, z int64) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ts, err := tiling.Analyze(app.Nest, fam.H(x, y, z))
+		if err != nil {
+			t.Logf("skip %s (%s x=%d y=%d z=%d): %v", name, fam.Name, x, y, z, err)
+			return
+		}
+		m := app.MapDim
+		if m < 0 {
+			m = distrib.ChooseMappingDim(ts)
+		}
+		d, err := distrib.New(ts, m)
+		if err != nil {
+			t.Logf("skip %s (%s x=%d y=%d z=%d): %v", name, fam.Name, x, y, z, err)
+			return
+		}
+		out = append(out, matrixCase{name, ts, d})
+	}
+	sor, err := apps.SOR(4, 10)
+	add("sor/rect", sor, err, sor.Rect, 2, 4, 4)
+	add("sor/rect-ragged", sor, err, sor.Rect, 2, 3, 5)
+	add("sor/nonrect", sor, err, sor.NonRect[0], 2, 4, 4)
+	jac, err := apps.Jacobi(8, 12)
+	add("jacobi/rect", jac, err, jac.Rect, 2, 3, 3)
+	add("jacobi/nonrect", jac, err, jac.NonRect[0], 2, 4, 4)
+	adi, err := apps.ADI(8, 10)
+	add("adi/rect", adi, err, adi.Rect, 2, 3, 3)
+	for i, fam := range adi.NonRect {
+		add(fmt.Sprintf("adi/nonrect%d", i), adi, nil, fam, 2, 3, 3)
+	}
+	heat, err := apps.Heat3D(6, 8)
+	add("heat3d/rect", heat, err, heat.Rect, 2, 2, 2)
+	if len(out) < 6 {
+		t.Fatalf("only %d matrix cases built — factor choices too restrictive", len(out))
+	}
+	return out
+}
+
+// TestCertifyMatrix runs the static certifier over the full matrix and
+// pins its coverage: every tile and every iteration point replayed, at
+// least one message proved exact wherever more than one rank exists, and
+// the whole sweep finishing far inside the 10 s acceptance budget.
+func TestCertifyMatrix(t *testing.T) {
+	start := time.Now()
+	for _, c := range matrixCases(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			rep, err := verify.Certify(c.ts, c.d)
+			if err != nil {
+				t.Fatalf("certify: %v", err)
+			}
+			if rep.Tiles != c.ts.NumTiles() {
+				t.Errorf("replayed %d tiles, space has %d", rep.Tiles, c.ts.NumTiles())
+			}
+			if rep.Points != c.ts.TotalPoints() {
+				t.Errorf("replayed %d points, space has %d", rep.Points, c.ts.TotalPoints())
+			}
+			if rep.Procs > 1 && rep.Messages == 0 {
+				t.Errorf("%d procs but no messages certified", rep.Procs)
+			}
+			if rep.Checks == 0 || rep.Shapes == 0 {
+				t.Errorf("empty certification: %+v", rep)
+			}
+			t.Logf("%s: %s", c.name, rep)
+		})
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Errorf("matrix certification took %v, over the 10s budget", el)
+	}
+}
+
+// firstMessageTile finds a tile that sends at least one message, with its
+// direction index — the mutation target.
+func firstMessageTile(t *testing.T, d *distrib.Distribution) (tile ilin.Vec, dir int) {
+	t.Helper()
+	dir = -1
+	d.TS.ScanTiles(func(s ilin.Vec) bool {
+		for i, dm := range d.DM {
+			if d.HasSuccessor(s, dm) && d.CommRegionCount(s, dm) > 0 {
+				tile, dir = s.Clone(), i
+				return false
+			}
+		}
+		return true
+	})
+	if dir < 0 {
+		t.Fatal("no communicating tile in the space")
+	}
+	return tile, dir
+}
+
+// TestMutationCorruptedRunRejected corrupts one CommRuns run and asserts
+// the verifier rejects the plan naming a counterexample point.
+func TestMutationCorruptedRunRejected(t *testing.T) {
+	c := matrixCases(t)[0]
+	tile, dir := firstMessageTile(t, c.d)
+	r, _ := c.d.RankOfTile(tile)
+	addr := c.d.Addresser(r)
+	var (
+		want []int64
+		pts  []ilin.Vec
+	)
+	c.d.CommRegion(tile, c.d.DM[dir], func(z, jp ilin.Vec) bool {
+		want = append(want, addr.Flat(jp, 0))
+		pts = append(pts, c.ts.GlobalOf(tile, z))
+		return true
+	})
+	runs, total := c.d.CommRuns(tile, c.d.DM[dir], addr)
+	if v := verify.CheckRuns(pts, want, runs, total); v != nil {
+		t.Fatalf("pristine runs rejected: %v", v)
+	}
+
+	for name, mutate := range map[string]func([]distrib.Run) []distrib.Run{
+		"shifted-offset": func(rs []distrib.Run) []distrib.Run {
+			rs[0].Off++ // pack starts one cell late: first value missing
+			return rs
+		},
+		"dropped-tail": func(rs []distrib.Run) []distrib.Run {
+			rs[len(rs)-1].N-- // last value never sent
+			return rs
+		},
+		"doubled-run": func(rs []distrib.Run) []distrib.Run {
+			return append(rs, rs[0]) // first run's cells sent twice
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			mutated := mutate(append([]distrib.Run(nil), runs...))
+			v := verify.CheckRuns(pts, want, mutated, total)
+			if v == nil {
+				t.Fatal("corrupted run list accepted")
+			}
+			if !strings.Contains(v.Error(), "counterexample point") {
+				t.Errorf("rejection carries no counterexample point: %v", v)
+			}
+			t.Logf("rejected: %v", v)
+		})
+	}
+}
+
+// TestMutationCorruptedScheduleRejected corrupts one schedule edge and
+// asserts CheckSchedule rejects the pattern, reversed edges specifically
+// as a deadlock with a counterexample.
+func TestMutationCorruptedScheduleRejected(t *testing.T) {
+	c := matrixCases(t)[0]
+	edges := verify.ScheduleEdges(c.d)
+	if len(edges) == 0 {
+		t.Fatal("no schedule edges in the matrix case")
+	}
+	if err := verify.CheckSchedule(c.d, edges); err != nil {
+		t.Fatalf("pristine schedule rejected: %v", err)
+	}
+
+	mutations := map[string]func([]verify.Edge) []verify.Edge{
+		"reversed-edge": func(es []verify.Edge) []verify.Edge {
+			es[0].From, es[0].To = es[0].To, es[0].From
+			es[0].SrcRank, es[0].DstRank = es[0].DstRank, es[0].SrcRank
+			return es
+		},
+		"wrong-receiver": func(es []verify.Edge) []verify.Edge {
+			es[0].To = es[0].To.Clone()
+			es[0].To[len(es[0].To)-1]++ // no longer minsucc
+			return es
+		},
+		"inflated-payload": func(es []verify.Edge) []verify.Edge {
+			es[0].Values++
+			return es
+		},
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			mutated := mutate(append([]verify.Edge(nil), edges...))
+			err := verify.CheckSchedule(c.d, mutated)
+			if err == nil {
+				t.Fatal("corrupted schedule accepted")
+			}
+			if !strings.Contains(err.Error(), "counterexample point") {
+				t.Errorf("rejection carries no counterexample point: %v", err)
+			}
+			if name == "reversed-edge" && !strings.Contains(err.Error(), "deadlock") {
+				t.Errorf("reversed edge not reported as a deadlock: %v", err)
+			}
+			t.Logf("rejected: %v", err)
+		})
+	}
+}
+
+// TestCertifyRejectsMutatedSpace mutates the analyzed space itself — the
+// kind of corruption Certify sees end-to-end — and asserts rejection with
+// the shared tiling diagnostics.
+func TestCertifyRejectsMutatedSpace(t *testing.T) {
+	c := matrixCases(t)[0]
+	saved := c.ts.DS[0].Clone()
+	c.ts.DS[0][0] = 2 // outside {0,1}: §3.2 cannot express it
+	_, err := verify.Certify(c.ts, c.d)
+	c.ts.DS[0] = saved
+	if err == nil {
+		t.Fatal("mutated tile-dependence matrix accepted")
+	}
+	if !strings.Contains(err.Error(), "component outside {0,1}") {
+		t.Errorf("expected the shared tiling diagnostic, got: %v", err)
+	}
+}

@@ -55,6 +55,7 @@ import (
 	"tilespace/internal/schedule"
 	"tilespace/internal/simnet"
 	"tilespace/internal/tiling"
+	"tilespace/internal/verify"
 )
 
 // LoopNest is a perfectly nested loop with uniform constant dependencies
@@ -354,6 +355,20 @@ func (p *Program) RunParallelOpts(opt RunOptions) (*Result, error) {
 		return nil, err
 	}
 	return &Result{g: g, prog: p.prog, Stats: stats}, nil
+}
+
+// VerifyReport summarizes what a successful static certification covered
+// (re-exported from internal/verify).
+type VerifyReport = verify.Report
+
+// Verify runs the static certification layer over the compiled program:
+// it proves comm-set exactness, deadlock-freedom (blocking and overlap
+// modes) and LDS bounds safety by pure compile-time arithmetic — no rank
+// is spawned — returning a coverage report, or an error carrying a
+// concrete counterexample point when any proof fails. tilec -verify and
+// RunOptions.Verify are thin wrappers over this.
+func (p *Program) Verify() (*VerifyReport, error) {
+	return verify.Certify(p.ts, p.dist)
 }
 
 // Processors returns the size of the processor mesh.
