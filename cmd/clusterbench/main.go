@@ -17,6 +17,8 @@
 //	clusterbench -execablation    # run blocking vs overlapped in the real runtime
 //	clusterbench -trace out.json  # trace the real runtime, export Chrome JSON
 //	clusterbench -gantt           # text Gantt of the measured SOR timeline
+//	clusterbench -faults          # fault-injection degradation, measured vs predicted
+//	clusterbench -faulttrace f.json  # also export the crash-restart run's timeline
 //	clusterbench -o results.txt   # tee output to a file
 //
 // -execablation selects between blocking and overlapped (Isend) execution
@@ -49,6 +51,8 @@ func main() {
 		execPerf = flag.String("execbench", "", "measure the compiled-plan executor against the legacy per-point one and write the JSON snapshot to this path (e.g. BENCH_exec.json)")
 		tracePth = flag.String("trace", "", "trace the real runtime and write the measured SOR timeline as Chrome trace_event JSON to this path")
 		gantt    = flag.Bool("gantt", false, "with -trace (or alone): render a text Gantt of the measured SOR timeline")
+		faults   = flag.Bool("faults", false, "run the fault-injection degradation scenarios in the real runtime and compare with simnet's prediction")
+		faultTr  = flag.String("faulttrace", "", "with -faults: write the measured crash-restart timeline as Chrome trace_event JSON to this path")
 		outPath  = flag.String("o", "", "also write the report to this file")
 	)
 	flag.Parse()
@@ -133,6 +137,45 @@ func main() {
 
 	if *tracePth != "" || *gantt {
 		runTraceReport(out, *tracePth, *gantt, par)
+	}
+
+	if *faults || *faultTr != "" {
+		runFaultReport(out, *faultTr, par)
+	}
+}
+
+// runFaultReport runs the fault-injection scenarios (straggler, slow
+// link, crash with checkpointed restart) through the real runtime and
+// prints the measured-vs-predicted degradation table; optionally exports
+// the measured crash-restart timeline — fault markers included — as
+// Chrome trace_event JSON.
+func runFaultReport(out io.Writer, path string, par simnet.Params) {
+	// Same cost balance as the trace report, scaled into OS-timer range.
+	par.Bandwidth = 3e5
+	par.IterTime = 5e-6
+	e, err := bench.RunFaultExperiment(par, 10)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: faults: %v\n", err)
+		return
+	}
+	fmt.Fprint(out, e.Render())
+	if !e.Agree() {
+		fmt.Fprintf(out, "WARNING: degradation diverged beyond ±%.0f%%\n", bench.FaultTolerance*100)
+	}
+	fmt.Fprintln(out)
+
+	if path != "" {
+		crash := e.Rows[len(e.Rows)-1]
+		js, err := crash.Trace.TraceEventJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clusterbench: faults: %v\n", err)
+			return
+		}
+		if err := os.WriteFile(path, js, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "clusterbench: faults: %v\n", err)
+			return
+		}
+		fmt.Fprintf(out, "wrote fault-run Chrome trace_event JSON (%d bytes) to %s — crash/restart appear as instant markers\n\n", len(js), path)
 	}
 }
 

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"testing"
+
+	"tilespace/internal/simnet"
+)
+
+// TestFaultModelValidatesSimnet is the acceptance check of the fault
+// layer: for every default failure scenario on the measured 16-rank SOR
+// run, the degradation ratio (faulty over fault-free makespan) must agree
+// with simnet.SimulateFaults' prediction within FaultTolerance, and the
+// measured faulty trace must carry the crash/restart markers.
+// Wall-clock heavy (injected costs), so skipped under -short.
+func TestFaultModelValidatesSimnet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured degradation comparison needs injected real-time costs")
+	}
+	par := simnet.FastEthernetPIII()
+	par.Bandwidth = 3e5
+	par.IterTime = 5e-6
+	e, err := RunFaultExperiment(par, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Rows) != 3 {
+		t.Fatalf("rows = %d, want the 3 default scenarios", len(e.Rows))
+	}
+	for _, fc := range e.Rows {
+		t.Logf("%s: measured %.2fx predicted %.2fx (err %.1f%%)",
+			fc.Scenario, fc.MeasuredDegradation, fc.PredictedDegradation, fc.DegradationErr()*100)
+		if fc.Procs != 16 {
+			t.Fatalf("%s: procs = %d, want the 16-rank acceptance configuration", fc.Scenario, fc.Procs)
+		}
+		if fc.PredictedDegradation <= 1 {
+			t.Errorf("%s: predicted degradation %.3fx not above 1 — scenario injects nothing", fc.Scenario, fc.PredictedDegradation)
+		}
+		if fc.DegradationErr() > FaultTolerance {
+			t.Errorf("%s: degradation diverged: measured %.2fx vs predicted %.2fx",
+				fc.Scenario, fc.MeasuredDegradation, fc.PredictedDegradation)
+		}
+		if fc.Scenario == "crash-restart" {
+			var crash, restart int
+			for _, ev := range fc.Trace.Events {
+				switch ev.Kind {
+				case "crash":
+					crash++
+				case "restart":
+					restart++
+				}
+			}
+			if crash != 1 || restart != 1 {
+				t.Errorf("crash-restart trace has %d crash / %d restart markers, want 1 / 1", crash, restart)
+			}
+			var crashes int
+			for _, m := range fc.Metrics {
+				crashes += m.Crashes
+			}
+			if crashes != 1 {
+				t.Errorf("RankMetrics count %d crashes, want 1", crashes)
+			}
+		}
+	}
+}

@@ -97,15 +97,11 @@ func (st *rankState) sendPhasePlanned(tile ilin.Vec, pl *tilePlan, t int64) erro
 			copy(buf[pos:pos+nn], st.la[cell:cell+int64(nn)])
 			pos += nn
 		}
-		if st.overlap {
-			req := st.c.IsendOwned(st.sendRank[i], i, buf)
-			req.OnComplete(st.noteFn)
-			st.pending = append(st.pending, req)
-		} else {
-			st.c.SendOwned(st.sendRank[i], i, buf)
-		}
-		if st.tr != nil {
-			st.tr.noteSend(len(buf), len(st.pending))
+		// Ownership transfers with the send; when the recovery layer skips
+		// an already-delivered replay instead, the buffer stays ours and
+		// goes straight back to the pool.
+		if st.dispatchSend(st.sendRank[i], i, buf, true, t) {
+			st.pool.put(buf)
 		}
 	}
 	return nil
@@ -143,7 +139,7 @@ func (st *rankState) receivePhasePlanned(tile ilin.Vec, t int64) error {
 		if srcRank < 0 {
 			return fmt.Errorf("exec: predecessor tile %v has no rank", pred)
 		}
-		buf := st.recv(srcRank, di)
+		buf := st.recvCk(srcRank, di)
 		if int64(len(buf)) != dir.total*int64(w) {
 			return fmt.Errorf("exec: rank %d tile %v: message from rank %d tag %d has %d values, expected %d", st.rank, tile, srcRank, di, len(buf), dir.total*int64(w))
 		}
@@ -153,6 +149,7 @@ func (st *rankState) receivePhasePlanned(tile ilin.Vec, t int64) error {
 			cell := (run.Off + base) * int64(w)
 			nn := int(run.N) * w
 			copy(st.la[cell:cell+int64(nn)], buf[pos:pos+nn])
+			st.markDirty(cell + int64(nn))
 			pos += nn
 		}
 		st.pool.put(buf)

@@ -53,6 +53,20 @@ type RunOptions struct {
 	// see Tracer. Nil disables tracing entirely: the executor takes no
 	// timestamps and allocates nothing for observability.
 	Trace *Tracer
+	// Faults injects a deterministic fault schedule into the run (see
+	// mpi.FaultPlan): link delay/jitter and transient send failures perturb
+	// the runtime's send paths, Slowdown multiplies this rank's PointDelay,
+	// and Crash kills a rank at a chosen tile index — recoverable only
+	// with Checkpoint, otherwise the run aborts. Results stay bit-identical
+	// to a fault-free run under every fault class. Setting this also sets
+	// Net.Faults; a plan already present in Net is used when this is nil.
+	Faults *mpi.FaultPlan
+	// Checkpoint enables tile-chain checkpointing: after every
+	// CheckpointOptions.Every committed tiles a rank snapshots its chain
+	// position, dirty LDS prefix and pending-send ledger, and a crashed
+	// rank restarts from its last snapshot with unacknowledged sends
+	// replayed. Nil disables checkpointing (no per-tile overhead).
+	Checkpoint *CheckpointOptions
 }
 
 // RunParallel executes the program as the paper's generated data-parallel
@@ -72,6 +86,13 @@ func (p *Program) RunParallel() (*Global, mpi.Stats, error) {
 
 // RunParallelOpts is RunParallel with an explicit execution strategy.
 func (p *Program) RunParallelOpts(opt RunOptions) (*Global, mpi.Stats, error) {
+	// One fault plan drives both layers: the runtime injects the wire
+	// perturbations, the executor consumes slowdown and crash points.
+	if opt.Faults != nil {
+		opt.Net.Faults = opt.Faults
+	} else {
+		opt.Faults = opt.Net.Faults
+	}
 	if opt.Verify {
 		if _, err := verify.Certify(p.TS, p.Dist); err != nil {
 			return nil, mpi.Stats{}, err
@@ -164,6 +185,12 @@ type rankState struct {
 	// off, and every instrumentation site is guarded on that.
 	tr *rankTracer
 
+	// faults is the run's fault schedule (never nil to callers: all
+	// FaultPlan methods are nil-safe); ckpt is the crash-recovery state,
+	// nil when checkpointing is off.
+	faults *mpi.FaultPlan
+	ckpt   *ckptState
+
 	// In-flight Isends in issue order. The NIC delivers them FIFO and
 	// noteSendDone counts completions from its goroutine, so reapPending
 	// can drop the completed prefix without blocking; Waitall at chain end
@@ -188,6 +215,18 @@ func newRankState(p *Program, c *mpi.Comm, r int, opt RunOptions) *rankState {
 		legacy:     opt.Legacy,
 		overlap:    opt.Overlap,
 		pointDelay: opt.PointDelay,
+		faults:     opt.Faults,
+	}
+	// A straggler's injected compute cost is its PointDelay, scaled.
+	if s := opt.Faults.SlowdownOf(r); s > 1 {
+		st.pointDelay = time.Duration(float64(st.pointDelay) * s)
+	}
+	if opt.Checkpoint != nil {
+		every := opt.Checkpoint.Every
+		if every < 1 {
+			every = 1
+		}
+		st.ckpt = &ckptState{every: every}
 	}
 	st.noteFn = st.noteSendDone
 	if opt.Trace != nil {
@@ -218,8 +257,16 @@ func (p *Program) runRank(c *mpi.Comm, g *Global, opt RunOptions) error {
 	r := c.Rank()
 	d := p.Dist
 	st := newRankState(p, c, r, opt)
+	crashAt := st.faults.CrashTile(r)
 
 	for t := int64(0); t < d.ChainLen[r]; t++ {
+		// A planned crash fires at the tile boundary, before tile t's
+		// receive — the first incarnation only. With checkpointing the
+		// rank rewinds to its last snapshot and re-executes; without,
+		// crash() panics and the world aborts.
+		if t == crashAt && (st.ckpt == nil || !st.ckpt.crashed) {
+			t = st.crash(t)
+		}
 		tile := d.TileAt(r, t)
 		if st.tr != nil {
 			st.tr.beginTile()
@@ -264,6 +311,10 @@ func (p *Program) runRank(c *mpi.Comm, g *Global, opt RunOptions) error {
 		// A completed tile is forward progress even if every other rank is
 		// parked waiting for its output — keep the watchdog quiet.
 		c.NoteProgress()
+		st.commitTile(t)
+	}
+	if err := st.checkReplayDrained(); err != nil {
+		return err
 	}
 	// Overlap mode: every send so far was an Isend whose transfer runs on
 	// the rank's NIC; make sure all of them completed before declaring the
@@ -421,7 +472,7 @@ func (st *rankState) receivePhase(tile ilin.Vec, t int64) error {
 		if srcRank < 0 {
 			return fmt.Errorf("exec: predecessor tile %v has no rank", pred)
 		}
-		buf := st.recv(srcRank, di)
+		buf := st.recvCk(srcRank, di)
 		if int64(len(buf)) != n*int64(w) {
 			return fmt.Errorf("exec: rank %d tile %v: message from rank %d tag %d has %d values, expected %d", st.rank, tile, srcRank, di, len(buf), n*int64(w))
 		}
@@ -431,6 +482,7 @@ func (st *rankState) receivePhase(tile ilin.Vec, t int64) error {
 		st.commRegion(pred, dm, func(z, pp ilin.Vec) bool {
 			cell := st.addr.FlatUnpack(pp, dmF, tau) * int64(w)
 			copy(st.la[cell:cell+int64(w)], buf[i:i+w])
+			st.markDirty(cell + int64(w))
 			i += w
 			return true
 		})
@@ -493,6 +545,7 @@ func (st *rankState) initPhase(tile ilin.Vec, t int64) {
 			st.p.Initial(src, buf)
 			cell := st.addr.FlatRead(jp, st.dps[l], t) * int64(w)
 			copy(st.la[cell:cell+int64(w)], buf)
+			st.markDirty(cell + int64(w))
 		}
 		return true
 	})
@@ -515,6 +568,7 @@ func (st *rankState) computePhase(tile ilin.Vec, t int64) {
 		j := st.p.TS.GlobalOf(tile, z)
 		out := st.addr.Flat(jp, t) * int64(w)
 		st.p.Kernel(j, reads, st.la[out:out+int64(w)])
+		st.markDirty(out + int64(w))
 		pts++
 		return true
 	})
@@ -551,16 +605,10 @@ func (st *rankState) sendPhase(tile ilin.Vec) error {
 			pos += w
 			return true
 		})
-		if st.overlap {
-			req := st.c.Isend(st.sendRank[i], i, buf)
-			req.OnComplete(st.noteFn)
-			st.pending = append(st.pending, req)
-		} else {
-			st.c.Send(st.sendRank[i], i, buf)
-		}
-		if st.tr != nil {
-			st.tr.noteSend(len(buf), len(st.pending))
-		}
+		// Send/Isend snapshot the buffer, so it returns to the pool either
+		// way — even when the recovery layer skipped an already-delivered
+		// replay.
+		st.dispatchSend(st.sendRank[i], i, buf, false, t)
 		st.pool.put(buf)
 	}
 	return nil

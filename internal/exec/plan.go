@@ -46,6 +46,11 @@ type tilePlan struct {
 	// dirs[d] holds the communication region along Dist.DM[d] as
 	// contiguous runs (pack order), with the fused point count.
 	dirs []dirPlan
+	// maxWrite/maxRead are the shape's highest write and read cell offsets
+	// (slot 0), so the checkpoint layer's LDS dirty bound updates in O(1)
+	// per tile instead of per point.
+	maxWrite int64
+	maxRead  int64
 }
 
 // dirPlan is one processor direction's compiled communication region.
@@ -129,8 +134,14 @@ func (st *rankState) compilePlan(tile ilin.Vec, zs []int64) *tilePlan {
 			pl.uz[i*n+k] = u
 		}
 		pl.writeOff[i] = st.addr.Flat(jp, 0)
+		if pl.writeOff[i] > pl.maxWrite {
+			pl.maxWrite = pl.writeOff[i]
+		}
 		for l := 0; l < q; l++ {
 			pl.readOff[i*q+l] = st.addr.FlatRead(jp, st.dps[l], 0)
+			if pl.readOff[i*q+l] > pl.maxRead {
+				pl.maxRead = pl.readOff[i*q+l]
+			}
 		}
 	}
 	for di, dm := range d.DM {
@@ -164,6 +175,7 @@ func (st *rankState) computePhasePlanned(pl *tilePlan, t int64) {
 		out := (pl.writeOff[i] + tOff) * w
 		st.p.Kernel(j, reads, la[out:out+w])
 	}
+	st.markDirty((pl.maxWrite + tOff + 1) * w)
 	st.chargePointDelay(int64(pl.npts))
 }
 
@@ -194,6 +206,7 @@ func (st *rankState) initPhasePlanned(pl *tilePlan, tile ilin.Vec, t int64) {
 			copy(st.la[cell:cell+w], st.initBuf)
 		}
 	}
+	st.markDirty((pl.maxRead + tOff + 1) * w)
 }
 
 // mulVecInto computes dst = m·v without allocating.

@@ -50,6 +50,14 @@ type RankMetrics struct {
 	PoolHits    int
 	PoolMisses  int
 	PendingPeak int
+
+	// Fault-recovery activity: Crashes counts injected crashes this rank
+	// survived (restarting from a checkpoint), Resent the messages the
+	// recovery layer re-issued because the crash dropped them. These are
+	// measurements (they depend on real delivery timing), which is why
+	// they live here and not in the deterministic mpi.Stats.
+	Crashes int
+	Resent  int
 }
 
 // Tracer collects per-rank measured timelines from one RunParallelOpts
@@ -216,6 +224,24 @@ func (rt *rankTracer) noteSend(values, pending int) {
 
 func (rt *rankTracer) noteRecvDone() { rt.recvDone = time.Now() }
 func (rt *rankTracer) noteCompDone() { rt.compDone = time.Now() }
+
+// noteFault records a fault marker (kind "crash" or "restart") at the
+// given chain slot: an instant event (all timestamps equal) that the
+// Gantt paints as '!' and the Chrome export emits as an instant, without
+// disturbing the phase-fraction analytics.
+func (rt *rankTracer) noteFault(kind string, slot int64) {
+	s := rt.sec(time.Now())
+	rt.events = append(rt.events, simnet.Event{
+		Rank: rt.rank, Tile: fmt.Sprintf("slot=%d", slot), Kind: kind,
+		Start: s, RecvDone: s, CompDone: s, End: s,
+	})
+	if kind == "crash" {
+		rt.m.Crashes++
+	}
+}
+
+// noteResend counts one message the recovery layer re-issued.
+func (rt *rankTracer) noteResend() { rt.m.Resent++ }
 
 func (rt *rankTracer) endTile(tile ilin.Vec) {
 	now := time.Now()

@@ -1,0 +1,244 @@
+package mpi
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The fault layer's whole value is determinism: equal plans must perturb
+// equal traffic identically, retries must never leak into the traffic
+// counters, injected stalls must never trip the watchdog, and a crash's
+// DropPending must split each link's sends into a delivered prefix and a
+// dropped suffix. These tests pin each of those contracts at the runtime
+// level, below the executor.
+
+func TestFaultPlanDecisionsDeterministic(t *testing.T) {
+	fp := &FaultPlan{
+		Seed:  42,
+		Links: map[Link]LinkFault{{0, 1}: {Delay: time.Millisecond, Jitter: time.Millisecond}},
+		Sends: &SendFaults{Rate: 0.5, MaxRetries: 4, Backoff: 100 * time.Microsecond},
+	}
+	same := &FaultPlan{
+		Seed:  42,
+		Links: map[Link]LinkFault{{0, 1}: {Delay: time.Millisecond, Jitter: time.Millisecond}},
+		Sends: &SendFaults{Rate: 0.5, MaxRetries: 4, Backoff: 100 * time.Microsecond},
+	}
+	other := &FaultPlan{
+		Seed:  43,
+		Links: map[Link]LinkFault{{0, 1}: {Delay: time.Millisecond, Jitter: time.Millisecond}},
+		Sends: &SendFaults{Rate: 0.5, MaxRetries: 4, Backoff: 100 * time.Microsecond},
+	}
+	var diffDelay, diffBackoff bool
+	for seq := int64(0); seq < 64; seq++ {
+		d := fp.LinkExtraDelay(0, 1, seq)
+		if d < time.Millisecond || d >= 2*time.Millisecond {
+			t.Fatalf("seq %d: delay %v outside [Delay, Delay+Jitter)", seq, d)
+		}
+		if got := same.LinkExtraDelay(0, 1, seq); got != d {
+			t.Fatalf("seq %d: equal plans disagree on delay: %v vs %v", seq, d, got)
+		}
+		if other.LinkExtraDelay(0, 1, seq) != d {
+			diffDelay = true
+		}
+		b := fp.SendBackoffs(0, 1, seq)
+		if len(b) > 4 {
+			t.Fatalf("seq %d: %d backoffs exceed MaxRetries", seq, len(b))
+		}
+		for i, bi := range b {
+			if want := 100 * time.Microsecond << i; bi != want {
+				t.Fatalf("seq %d attempt %d: backoff %v, want %v (exponential)", seq, i, bi, want)
+			}
+		}
+		if got := same.SendBackoffs(0, 1, seq); !reflect.DeepEqual(got, b) {
+			t.Fatalf("seq %d: equal plans disagree on backoffs: %v vs %v", seq, b, got)
+		}
+		if len(other.SendBackoffs(0, 1, seq)) != len(b) {
+			diffBackoff = true
+		}
+	}
+	if !diffDelay || !diffBackoff {
+		t.Fatalf("seed change never altered a decision (delay varied: %v, backoff varied: %v) — hash is not consuming the seed", diffDelay, diffBackoff)
+	}
+	// Unconfigured links and nil plans inject nothing.
+	if fp.LinkExtraDelay(1, 0, 0) != 0 {
+		t.Fatal("unconfigured link got a delay")
+	}
+	var nilPlan *FaultPlan
+	if nilPlan.LinkExtraDelay(0, 1, 0) != 0 || nilPlan.SendBackoffs(0, 1, 0) != nil ||
+		nilPlan.SlowdownOf(0) != 1 || nilPlan.CrashTile(0) != -1 || nilPlan.Validate() != nil {
+		t.Fatal("nil plan must be a no-op")
+	}
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	bad := []*FaultPlan{
+		{Sends: &SendFaults{Rate: 1.5, MaxRetries: 3, Backoff: time.Millisecond}},
+		{Sends: &SendFaults{Rate: 0.5}},
+		{Crash: map[int]int64{-1: 0}},
+		{Crash: map[int]int64{0: -2}},
+	}
+	for i, fp := range bad {
+		if fp.Validate() == nil {
+			t.Errorf("plan %d validated but is invalid: %+v", i, fp)
+		}
+	}
+	ok := &FaultPlan{
+		Slowdown: map[int]float64{1: 3},
+		Sends:    &SendFaults{Rate: 0.2, MaxRetries: 3, Backoff: time.Millisecond},
+		Crash:    map[int]int64{2: 5},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if ok.SlowdownOf(1) != 3 || ok.SlowdownOf(0) != 1 || ok.CrashTile(2) != 5 || ok.CrashTile(0) != -1 {
+		t.Fatal("plan accessors disagree with the plan")
+	}
+}
+
+// exchange runs a fixed 2-rank ping-stream program under opts and returns
+// the world's Stats and the receiver's last payload.
+func exchange(t *testing.T, opts Options, n int, overlap bool) (Stats, float64) {
+	t.Helper()
+	w := NewWorldOpts(2, opts)
+	var last float64
+	err := w.RunE(func(c *Comm) {
+		if c.Rank() == 0 {
+			var reqs []*Request
+			for i := 0; i < n; i++ {
+				if overlap {
+					reqs = append(reqs, c.Isend(1, 3, []float64{float64(i), float64(i)}))
+				} else {
+					c.Send(1, 3, []float64{float64(i), float64(i)})
+				}
+			}
+			Waitall(reqs)
+		} else {
+			for i := 0; i < n; i++ {
+				last = c.Recv(0, 3)[0]
+			}
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Stats(), last
+}
+
+// TestFaultRetriesKeepStatsDeterministic is the no-double-counting
+// contract: a run with transient send failures must report exactly the
+// traffic of a fault-free run (a message is counted once, at delivery),
+// plus a SendRetries count that is itself reproducible.
+func TestFaultRetriesKeepStatsDeterministic(t *testing.T) {
+	plan := func() *FaultPlan {
+		return &FaultPlan{
+			Seed:  7,
+			Links: map[Link]LinkFault{{0, 1}: {Delay: 20 * time.Microsecond, Jitter: 50 * time.Microsecond}},
+			Sends: &SendFaults{Rate: 0.6, MaxRetries: 5, Backoff: 10 * time.Microsecond},
+		}
+	}
+	for _, overlap := range []bool{false, true} {
+		clean, lastClean := exchange(t, Options{}, 40, overlap)
+		f1, last1 := exchange(t, Options{Faults: plan()}, 40, overlap)
+		f2, last2 := exchange(t, Options{Faults: plan()}, 40, overlap)
+		if last1 != lastClean || last2 != lastClean {
+			t.Fatalf("overlap=%v: payloads diverged under faults", overlap)
+		}
+		if f1.SendRetries == 0 {
+			t.Fatalf("overlap=%v: rate 0.6 over 40 messages injected no retries — injection not reached", overlap)
+		}
+		if !reflect.DeepEqual(f1, f2) {
+			t.Fatalf("overlap=%v: two identical faulty runs disagree\n%+v\n%+v", overlap, f1, f2)
+		}
+		// Erase the (identical) retry counters and the faulty run must be
+		// byte-for-byte the clean run: no message or value counted twice.
+		f1.SendRetries = 0
+		for i := range f1.PerRank {
+			f1.PerRank[i].SendRetries = 0
+		}
+		if !reflect.DeepEqual(clean, f1) {
+			t.Fatalf("overlap=%v: faulty traffic differs from clean traffic\nclean: %+v\nfault: %+v", overlap, clean, f1)
+		}
+	}
+}
+
+// TestWatchdogSurvivesInjectedFaults is the watchdog/fault interplay
+// regression (mpi level): a healthy run whose every message sleeps far
+// longer than the watchdog period must finish, because injected sleeps
+// count as activity (faultBusy) and survived retries as progress.
+func TestWatchdogSurvivesInjectedFaults(t *testing.T) {
+	fp := &FaultPlan{
+		Seed:  1,
+		Links: map[Link]LinkFault{{0, 1}: {Delay: 15 * time.Millisecond}},
+		Sends: &SendFaults{Rate: 0.9, MaxRetries: 4, Backoff: 8 * time.Millisecond},
+	}
+	for _, overlap := range []bool{false, true} {
+		_, last := exchange(t, Options{Watchdog: 5 * time.Millisecond, Faults: fp}, 6, overlap)
+		if last != 5 {
+			t.Fatalf("overlap=%v: run finished with wrong payload %v", overlap, last)
+		}
+	}
+}
+
+// TestDropPendingPrefixSuffix pins the crash-recovery foundation: after
+// DropPending, the rank's issued Isends split into a delivered prefix and
+// a dropped suffix (NIC transmits in issue order), every request answers
+// Dropped() definitively, completion hooks still fire, and the receiver
+// sees exactly the prefix.
+func TestDropPendingPrefixSuffix(t *testing.T) {
+	const n = 12
+	// A per-message wire cost slow enough that some sends are still queued
+	// when DropPending runs, without any fault plan in play.
+	w := NewWorldOpts(2, Options{LinkLatency: 2 * time.Millisecond})
+	var reqs []*Request
+	fired := make([]bool, n)
+	var nDropped, recvd int
+	err := w.RunE(func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				req := c.IsendOwned(1, 3, []float64{float64(i)})
+				i := i
+				req.OnComplete(func() { fired[i] = true })
+				reqs = append(reqs, req)
+			}
+			time.Sleep(5 * time.Millisecond) // let a prefix get delivered
+			nDropped = c.DropPending()
+			// All requests are complete now (delivered or dropped), so
+			// Waitall must return immediately rather than hang on the
+			// dropped ones.
+			Waitall(reqs)
+			c.Send(1, 9, []float64{float64(n - nDropped)})
+		} else {
+			expect := int(c.Recv(0, 9)[0])
+			for i := 0; i < expect; i++ {
+				if v := c.Recv(0, 3); v[0] != float64(i) {
+					t.Errorf("message %d carries %v — delivered set is not the issue-order prefix", i, v[0])
+				}
+				recvd++
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nDropped == 0 || nDropped == n {
+		t.Fatalf("dropped %d of %d — test needs a genuine prefix/suffix split (tune the latency)", nDropped, n)
+	}
+	if recvd != n-nDropped {
+		t.Fatalf("receiver claimed %d messages, want %d", recvd, n-nDropped)
+	}
+	for i, r := range reqs {
+		wantDropped := i >= n-nDropped
+		if r.Dropped() != wantDropped {
+			t.Errorf("request %d: Dropped()=%v, want %v — suffix boundary wrong", i, r.Dropped(), wantDropped)
+		}
+		if !fired[i] {
+			t.Errorf("request %d: OnComplete never fired — pooled buffers would leak", i)
+		}
+	}
+	// Stats must count only delivered messages.
+	if st := w.Stats(); st.Messages != int64(n-nDropped)+1 {
+		t.Fatalf("Stats.Messages=%d, want %d delivered + 1 control", st.Messages, n-nDropped)
+	}
+}

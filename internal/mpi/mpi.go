@@ -212,6 +212,13 @@ type Options struct {
 	// Zero (the default) injects nothing.
 	LinkLatency time.Duration
 	PerValue    time.Duration
+	// Faults, when non-nil, injects the plan's deterministic perturbations
+	// (per-link delay/jitter, transient send failures with backoff) into
+	// every send path; compute slowdown and crash points are carried for
+	// the executor. Injected sleeps count as watchdog activity, never as a
+	// stall (see World.stalled), and failed transmissions are retried below
+	// the traffic counters so Stats stay deterministic.
+	Faults *FaultPlan
 }
 
 // RankTraffic is one rank's traffic, both directions.
@@ -221,6 +228,7 @@ type RankTraffic struct {
 	Values          int64 // float64 values across both
 	Recvs           int64 // messages claimed by Recv/Irecv/TryRecv
 	ValuesRecvd     int64 // float64 values across claimed messages
+	SendRetries     int64 // injected transient send failures survived (Options.Faults)
 }
 
 // Stats aggregates per-world traffic counters.
@@ -231,6 +239,7 @@ type Stats struct {
 	OverlappedSends int64 // messages sent on the non-blocking (Isend) path
 	Recvs           int64 // messages claimed by receivers
 	ValuesRecvd     int64 // float64 values claimed by receivers
+	SendRetries     int64 // injected transient send failures survived
 	PerRank         []RankTraffic
 }
 
@@ -241,6 +250,7 @@ type rankCounters struct {
 	values      atomic.Int64
 	recvs       atomic.Int64
 	valuesRecvd atomic.Int64
+	sendRetries atomic.Int64
 }
 
 // World is a communicator universe of Size ranks.
@@ -258,11 +268,20 @@ type World struct {
 	// Watchdog progress observation (see Options.Watchdog): progress is
 	// bumped on every delivery, barrier completion and NoteProgress call;
 	// active counts ranks inside their RunE function; blocked counts ranks
-	// parked in a blocking wait; nicBusy counts undelivered Isends.
-	progress atomic.Uint64
-	active   atomic.Int64
-	blocked  atomic.Int64
-	nicBusy  atomic.Int64
+	// parked in a blocking wait; nicBusy counts undelivered Isends;
+	// faultBusy counts goroutines sleeping inside an injected fault (link
+	// delay or retry backoff) so degraded-but-healthy runs never trip the
+	// watchdog.
+	progress  atomic.Uint64
+	active    atomic.Int64
+	blocked   atomic.Int64
+	nicBusy   atomic.Int64
+	faultBusy atomic.Int64
+
+	// linkSeqs[src*size+dst] numbers the messages transmitted on each
+	// directed link, in issue order — the coordinate every FaultPlan
+	// decision keys on.
+	linkSeqs []atomic.Int64
 }
 
 // NoteProgress records externally observable forward progress (the
@@ -280,7 +299,9 @@ func (w *World) stalled(last uint64) (uint64, bool) {
 	if p := w.progress.Load(); p != last {
 		return p, false
 	}
-	if w.nicBusy.Load() > 0 || w.blocked.Load() < w.active.Load() {
+	// A goroutine sleeping out an injected fault (link delay, retry
+	// backoff) is degraded, not deadlocked — it will wake and deliver.
+	if w.nicBusy.Load() > 0 || w.faultBusy.Load() > 0 || w.blocked.Load() < w.active.Load() {
 		return last, false
 	}
 	return last, true
@@ -295,12 +316,16 @@ func NewWorldOpts(size int, opts Options) *World {
 	if size <= 0 {
 		panic(fmt.Sprintf("mpi: world size %d must be positive", size))
 	}
+	if err := opts.Faults.Validate(); err != nil {
+		panic(err.Error())
+	}
 	w := &World{size: size, opts: opts, barrier: newBarrier(size)}
 	w.boxes = make([]*mailbox, size)
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 	}
 	w.perRank = make([]rankCounters, size)
+	w.linkSeqs = make([]atomic.Int64, size*size)
 	return w
 }
 
@@ -322,12 +347,14 @@ func (w *World) Stats() Stats {
 			Values:          rc.values.Load(),
 			Recvs:           rc.recvs.Load(),
 			ValuesRecvd:     rc.valuesRecvd.Load(),
+			SendRetries:     rc.sendRetries.Load(),
 		}
 		st.PerRank[i] = rt
 		st.BlockingSends += rt.BlockingSends
 		st.OverlappedSends += rt.OverlappedSends
 		st.Recvs += rt.Recvs
 		st.ValuesRecvd += rt.ValuesRecvd
+		st.SendRetries += rt.SendRetries
 	}
 	return st
 }
@@ -469,6 +496,7 @@ func (c *Comm) send(dst, tag int, data []float64) {
 	c.checkRank(dst)
 	buf := make([]float64, len(data))
 	copy(buf, data)
+	c.world.injectSendFaults(c.rank, dst)
 	if d := c.world.wireDelay(len(buf)); d > 0 && !c.world.aborted.Load() {
 		time.Sleep(d)
 	}
@@ -486,6 +514,7 @@ func (c *Comm) SendOwned(dst, tag int, data []float64) {
 		panic("mpi: negative tags are reserved")
 	}
 	c.checkRank(dst)
+	c.world.injectSendFaults(c.rank, dst)
 	if d := c.world.wireDelay(len(data)); d > 0 && !c.world.aborted.Load() {
 		time.Sleep(d)
 	}

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -34,10 +35,22 @@ type Request struct {
 	got       bool
 	data      []float64
 
+	// dropped marks a send request whose message was discarded before
+	// delivery by Comm.DropPending (crash simulation). Set once, before
+	// done is closed, so any Wait/Test that observes completion also
+	// observes the final Dropped answer.
+	dropped atomic.Bool
+
 	// completion hooks (see OnComplete)
 	fired bool
 	cbs   []func()
 }
+
+// Dropped reports whether this send request's message was discarded
+// undelivered by Comm.DropPending. It is final once the request has
+// completed (done closed): a completed request was either delivered or
+// dropped, never both. Always false for receive requests.
+func (r *Request) Dropped() bool { return r.dropped.Load() }
 
 // OnComplete registers fn to run exactly once when the request completes:
 // for sends, right after the NIC delivers the message (fn runs on the NIC
@@ -82,11 +95,14 @@ type nicItem struct {
 
 // nicQueue is a rank's outbound transfer queue, drained in order by one
 // background goroutine (the "NIC"): Isend never blocks the caller, and
-// any injected wire cost is paid off the compute path.
+// any injected wire cost is paid off the compute path. busy is true while
+// the NIC goroutine is transmitting a popped item — DropPending waits for
+// it so delivered-vs-dropped status is final when DropPending returns.
 type nicQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []nicItem
+	busy   bool
 	closed bool
 	done   chan struct{}
 }
@@ -108,6 +124,8 @@ func (c *Comm) nicLoop(q *nicQueue) {
 	defer close(q.done)
 	for {
 		q.mu.Lock()
+		q.busy = false
+		q.cond.Broadcast()
 		for len(q.items) == 0 && !q.closed {
 			q.cond.Wait()
 		}
@@ -117,9 +135,11 @@ func (c *Comm) nicLoop(q *nicQueue) {
 		}
 		it := q.items[0]
 		q.items = q.items[1:]
+		q.busy = true
 		q.mu.Unlock()
-		// Transfer cost runs here, concurrent with the rank's compute;
-		// skip it when tearing down after a failure.
+		// Transfer cost (and any injected fault) runs here, concurrent with
+		// the rank's compute; skip it when tearing down after a failure.
+		c.world.injectSendFaults(c.rank, it.dst)
 		if d := c.world.wireDelay(len(it.data)); d > 0 && !c.world.aborted.Load() {
 			time.Sleep(d)
 		}
@@ -128,6 +148,38 @@ func (c *Comm) nicLoop(q *nicQueue) {
 		close(it.req.done)
 		it.req.fireComplete()
 	}
+}
+
+// DropPending simulates a NIC failure at a crash point: it synchronously
+// discards this rank's queued, not-yet-transmitting Isends and returns
+// how many were dropped. The transfer in flight (if any) is allowed to
+// finish first — the NIC delivers in issue order, so when DropPending
+// returns, the rank's issued Isends split cleanly into a delivered prefix
+// and a dropped suffix, each request answering Dropped() definitively.
+// Replaying exactly the dropped suffix therefore preserves per-stream
+// FIFO order. Dropped requests complete (done closed, OnComplete hooks
+// fired) so pooled buffers are still recycled and Waitall never hangs.
+func (c *Comm) DropPending() int {
+	c.nicMu.Lock()
+	q := c.nic
+	c.nicMu.Unlock()
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	items := q.items
+	q.items = nil
+	for q.busy {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+	for _, it := range items {
+		it.req.dropped.Store(true)
+		c.world.nicBusy.Add(-1)
+		close(it.req.done)
+		it.req.fireComplete()
+	}
+	return len(items)
 }
 
 // flushNIC drains outstanding Isends and stops the NIC goroutine; RunE

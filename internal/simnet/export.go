@@ -45,6 +45,19 @@ func (tr *Trace) TraceEventJSON() ([]byte, error) {
 				Args:  map[string]any{"name": "rank " + strconv.Itoa(e.Rank)},
 			})
 		}
+		if e.Kind != "" {
+			// Fault markers (crash/restart) become instant events, rendered
+			// by the viewers as a flagged point on the rank's track.
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name:  e.Kind + " " + e.Tile,
+				Phase: "i",
+				Ts:    e.Start * usec,
+				Pid:   0,
+				Tid:   e.Rank,
+				Args:  map[string]any{"tile": e.Tile},
+			})
+			continue
+		}
 		args := map[string]any{"tile": e.Tile, "waited_us": e.Waited * usec}
 		for _, ph := range []struct {
 			name       string

@@ -130,8 +130,21 @@ func Simulate(d *distrib.Distribution, par Params) (*Result, error) {
 // simulate is the engine; onEvent, when non-nil, receives one Event per
 // tile (used by SimulateTraced).
 func simulate(d *distrib.Distribution, par Params, onEvent func(Event)) (*Result, error) {
+	return simulateFaults(d, par, nil, onEvent)
+}
+
+// simulateFaults is simulate under a fault model (nil fm = fault-free);
+// see fault.go for what each fault class does to the clocks.
+func simulateFaults(d *distrib.Distribution, par Params, fm *FaultModel, onEvent func(Event)) (*Result, error) {
 	if err := par.Validate(); err != nil {
 		return nil, err
+	}
+	var fs *faultState
+	if fm != nil {
+		if err := fm.Plan.Validate(); err != nil {
+			return nil, err
+		}
+		fs = newFaultState(fm, d.NumProcs())
 	}
 	type tileRef struct {
 		rank int
@@ -179,6 +192,30 @@ func simulate(d *distrib.Distribution, par Params, onEvent func(Event)) (*Result
 		}
 		tile := d.TileAt(tr.rank, tr.t)
 		now := procClock[tr.rank]
+
+		// CRASH: the runtime kills the rank at the top of tile k's loop
+		// iteration, so the penalty lands before this tile's receive. The
+		// downtime (restart delay) is idle; the re-execution of the tiles
+		// since the last snapshot is busy CPU.
+		if fs != nil && !fs.crashed[tr.rank] && fm.Plan.CrashTile(tr.rank) == tr.t {
+			fs.crashed[tr.rank] = true
+			if onEvent != nil {
+				onEvent(Event{Rank: tr.rank, Tile: fmt.Sprintf("slot=%d", tr.t), Kind: "crash",
+					Start: now, RecvDone: now, CompDone: now, End: now})
+			}
+			now += fm.Plan.RestartDelay.Seconds() / fm.DurScale
+			if onEvent != nil {
+				onEvent(Event{Rank: tr.rank, Tile: fmt.Sprintf("slot=%d", tr.t), Kind: "restart",
+					Start: now, RecvDone: now, CompDone: now, End: now})
+			}
+			now += fs.reExec[tr.rank]
+			busy[tr.rank] += fs.reExec[tr.rank]
+		}
+
+		// redo accumulates what re-executing this tile after a later crash
+		// would cost: unpack and pack repeat, the wire and the MPI stack
+		// overheads do not (receives replay locally, delivered sends skip).
+		var redo float64
 		ev := Event{Rank: tr.rank, Tile: tile.String(), Start: now}
 
 		// RECEIVE: wait for each due message, then pay unpack CPU.
@@ -208,9 +245,11 @@ func simulate(d *distrib.Distribution, par Params, onEvent func(Event)) (*Result
 				ev.Waited += arr - now
 				now = arr // idle wait: not busy time
 			}
-			cpu := par.RecvOverhead + float64(n*int64(par.Width))*par.PackTime
+			unpack := float64(n*int64(par.Width)) * par.PackTime
+			cpu := par.RecvOverhead + unpack
 			now += cpu
 			busy[tr.rank] += cpu
+			redo += unpack
 		}
 
 		ev.RecvDone = now
@@ -219,8 +258,12 @@ func simulate(d *distrib.Distribution, par Params, onEvent func(Event)) (*Result
 		pts := counts.points(tile)
 		res.Points += pts
 		comp := float64(pts) * par.IterTime
+		if fs != nil {
+			comp *= fm.Plan.SlowdownOf(tr.rank)
+		}
 		now += comp
 		busy[tr.rank] += comp
+		redo += comp
 		ev.CompDone = now
 
 		// SEND: one message per processor direction with a valid successor.
@@ -234,16 +277,25 @@ func simulate(d *distrib.Distribution, par Params, onEvent func(Event)) (*Result
 			}
 			bytes := float64(n*int64(par.Width)) * float64(par.ValueBytes)
 			pack := float64(n*int64(par.Width)) * par.PackTime
+			// Injected link delay, jitter and retry backoffs hit this
+			// message before transmission, paid where the runtime pays them:
+			// the sender's CPU in blocking mode, its NIC in overlap mode.
+			var pert float64
+			if fs != nil {
+				if dst, ok := d.Rank(d.Pids[tr.rank].Add(dm)); ok {
+					pert = fs.sendPerturbation(tr.rank, dst)
+				}
+			}
 			var arrive float64
 			if par.Overlap {
 				cpu := pack + par.SendOverhead
 				now += cpu
 				busy[tr.rank] += cpu
 				start := math.Max(nicFree[tr.rank], now)
-				nicFree[tr.rank] = start + bytes/par.Bandwidth
+				nicFree[tr.rank] = start + pert + bytes/par.Bandwidth
 				arrive = nicFree[tr.rank] + par.Latency
 			} else {
-				cpu := pack + par.SendOverhead + bytes/par.Bandwidth
+				cpu := pack + par.SendOverhead + pert + bytes/par.Bandwidth
 				now += cpu
 				busy[tr.rank] += cpu
 				arrive = now + par.Latency
@@ -251,12 +303,23 @@ func simulate(d *distrib.Distribution, par Params, onEvent func(Event)) (*Result
 			arrivals[msgKey{tile.String(), dm.String()}] = arrive
 			res.Messages++
 			res.BytesSent += int64(bytes)
+			redo += pack
 		}
 
 		procClock[tr.rank] = now
 		ev.End = now
 		if onEvent != nil {
 			onEvent(ev)
+		}
+		if fs != nil {
+			// Snapshot boundary: after committing tile t with (t+1) a
+			// multiple of Every, a crash no longer re-executes anything up
+			// to and including t.
+			if (tr.t+1)%fm.CheckpointEvery == 0 {
+				fs.reExec[tr.rank] = 0
+			} else {
+				fs.reExec[tr.rank] += redo
+			}
 		}
 	}
 

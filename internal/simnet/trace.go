@@ -19,6 +19,11 @@ type Event struct {
 	CompDone float64 // after the kernel sweep
 	End      float64 // after sends
 	Waited   float64 // idle time spent blocked on receives
+	// Kind distinguishes fault markers from tile records: "" is a normal
+	// tile, "crash" and "restart" are instants injected by the fault layer
+	// (simulated or measured). Fault events carry the chain slot in Tile
+	// and equal Start/End.
+	Kind string
 }
 
 // Trace is the per-tile timeline of a simulated run.
@@ -87,7 +92,7 @@ func (tr *Trace) Gantt(width int) string {
 		return c
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "gantt (%d cols = %.4fs, '.' idle  r recv  C compute  s send)\n", width, makespan)
+	fmt.Fprintf(&b, "gantt (%d cols = %.4fs, '.' idle  r recv  C compute  s send  ! fault)\n", width, makespan)
 	for r := 0; r <= maxRank; r++ {
 		row := make([]byte, width)
 		for i := range row {
@@ -96,9 +101,17 @@ func (tr *Trace) Gantt(width int) string {
 		evs := ranks[r]
 		sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
 		for _, e := range evs {
+			if e.Kind != "" {
+				continue // fault markers paint after the phases, below
+			}
 			paint(row, col(e.Start), colEnd(e.RecvDone), 'r')
 			paint(row, col(e.RecvDone), colEnd(e.CompDone), 'C')
 			paint(row, col(e.CompDone), colEnd(e.End), 's')
+		}
+		for _, e := range evs {
+			if e.Kind != "" {
+				row[col(e.Start)] = '!'
+			}
 		}
 		fmt.Fprintf(&b, "rank %3d |%s|\n", r, row)
 	}

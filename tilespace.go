@@ -329,8 +329,10 @@ func (p *Program) RunParallel() (*Result, error) {
 
 // RunOptions selects the parallel execution strategy (re-exported):
 // Overlap switches sends to non-blocking Isends drained at chain end, Net
-// configures the runtime's deadlock watchdog and injected wire costs, and
-// Trace attaches a measured per-tile timeline recorder.
+// configures the runtime's deadlock watchdog and injected wire costs,
+// Trace attaches a measured per-tile timeline recorder, and
+// Faults/Checkpoint inject a deterministic fault schedule and enable
+// crash recovery from tile-chain snapshots.
 type RunOptions = exec.RunOptions
 
 // NetOptions configures the runtime world (re-exported from mpi).
@@ -396,6 +398,48 @@ type SimReport = simnet.Result
 func (p *Program) Simulate(par ClusterParams) (*SimReport, error) {
 	par.Width = p.prog.Width
 	return simnet.Simulate(p.dist, par)
+}
+
+// FaultPlan is a deterministic, seedable fault-injection schedule
+// (re-exported from mpi): per-rank compute slowdowns, per-link delay and
+// jitter, transient send failures with bounded retry, and hard rank
+// crashes at a chosen tile index. Attach one via RunOptions.Faults; pair
+// a crash with RunOptions.Checkpoint so the rank restarts from its last
+// snapshot instead of aborting the run.
+type FaultPlan = mpi.FaultPlan
+
+// Link, LinkFault and SendFaults are FaultPlan building blocks
+// (re-exported from mpi).
+type (
+	Link       = mpi.Link
+	LinkFault  = mpi.LinkFault
+	SendFaults = mpi.SendFaults
+)
+
+// CheckpointOptions enables tile-chain checkpointing (re-exported from
+// exec): each rank snapshots its LDS dirty region and send ledger every
+// Every committed tiles, bounding how far a crashed rank rewinds.
+type CheckpointOptions = exec.CheckpointOptions
+
+// FaultModel configures a fault-aware simulation (re-exported from
+// simnet): the same FaultPlan the runtime injects, plus the checkpoint
+// period and the duration scale that maps the plan's wall-clock sleeps
+// into model seconds.
+type FaultModel = simnet.FaultModel
+
+// SimulateFaults predicts the program's cluster execution under the cost
+// model with the fault model applied — the prediction side of the
+// measured-vs-predicted degradation comparison (clusterbench -faults).
+func (p *Program) SimulateFaults(par ClusterParams, fm FaultModel) (*SimReport, error) {
+	par.Width = p.prog.Width
+	return simnet.SimulateFaults(p.dist, par, fm)
+}
+
+// SimulateFaultsTraced is SimulateFaults recording a per-tile timeline
+// with crash/restart instants marked.
+func (p *Program) SimulateFaultsTraced(par ClusterParams, fm FaultModel) (*SimTrace, error) {
+	par.Width = p.prog.Width
+	return simnet.SimulateFaultsTraced(p.dist, par, fm)
 }
 
 // SimTrace is a traced simulation (re-exported).

@@ -3,6 +3,7 @@ package tilespace
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func quickNest(t *testing.T) *LoopNest {
@@ -311,5 +312,65 @@ func TestFacadeOptimize(t *testing.T) {
 	}
 	if d, _ := seq.MaxAbsDiff(par); d != 0 {
 		t.Fatal("winner verification failed")
+	}
+}
+
+// The facade must expose the full fault path: a crash-restart run through
+// RunOptions.Faults/Checkpoint reproduces the fault-free result bit for
+// bit, and SimulateFaults predicts a degraded makespan for the same plan.
+func TestFacadeFaultInjection(t *testing.T) {
+	nest := quickNest(t)
+	h, err := RectangularTiling(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(nest, h, CompileOptions{MapDim: -1, Kernel: sumKernel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := prog.RunParallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &FaultPlan{Crash: map[int]int64{prog.Processors() / 2: 1}}
+	faulty, err := prog.RunParallelOpts(RunOptions{
+		Faults:     plan,
+		Checkpoint: &CheckpointOptions{Every: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, at := clean.MaxAbsDiff(faulty); d != 0 {
+		t.Fatalf("crash-restart run differs by %g at %v", d, at)
+	}
+
+	par := FastEthernetPIII()
+	base, err := prog.Simulate(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := prog.SimulateFaults(par, FaultModel{
+		Plan: &FaultPlan{Links: map[Link]LinkFault{{Src: 0, Dst: 1}: {Delay: time.Second}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Makespan <= base.Makespan {
+		t.Errorf("predicted makespan %v not degraded from %v", pred.Makespan, base.Makespan)
+	}
+	tr, err := prog.SimulateFaultsTraced(par, FaultModel{
+		Plan: &FaultPlan{Crash: map[int]int64{0: 1}, RestartDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var marks int
+	for _, e := range tr.Events {
+		if e.Kind != "" {
+			marks++
+		}
+	}
+	if marks != 2 {
+		t.Errorf("traced fault simulation has %d markers, want crash+restart", marks)
 	}
 }
