@@ -53,6 +53,7 @@ func main() {
 		gantt    = flag.Bool("gantt", false, "with -trace (or alone): render a text Gantt of the measured SOR timeline")
 		faults   = flag.Bool("faults", false, "run the fault-injection degradation scenarios in the real runtime and compare with simnet's prediction")
 		faultTr  = flag.String("faulttrace", "", "with -faults: write the measured crash-restart timeline as Chrome trace_event JSON to this path")
+		servePth = flag.String("serve", "", "load-test the tiling service (cold compile vs shared plan cache) and write the JSON snapshot to this path (e.g. BENCH_serve.json)")
 		outPath  = flag.String("o", "", "also write the report to this file")
 	)
 	flag.Parse()
@@ -141,6 +142,41 @@ func main() {
 
 	if *faults || *faultTr != "" {
 		runFaultReport(out, *faultTr, par)
+	}
+
+	if *servePth != "" {
+		runServeBench(out, *servePth)
+	}
+}
+
+// runServeBench drives the mixed-workload client fleet against a cold
+// and a warm tiling service and writes the committed snapshot. The
+// acceptance bar lives here, not just in CI: a snapshot that doesn't
+// clear a 5x warm/cold speedup or perturbs a checksum fails the command.
+func runServeBench(out io.Writer, path string) {
+	exp, err := bench.RunServeExperiment(8, 48)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: serve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprint(out, exp.Render())
+	fmt.Fprintln(out)
+	if !exp.ChecksumsStable {
+		fmt.Fprintln(os.Stderr, "clusterbench: serve: caching changed a computed result")
+		os.Exit(1)
+	}
+	if exp.Speedup < 5 {
+		fmt.Fprintf(os.Stderr, "clusterbench: serve: warm/cold speedup %.1fx, want >= 5x\n", exp.Speedup)
+		os.Exit(1)
+	}
+	js, err := exp.JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: serve: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, js, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: serve: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tilespace/internal/serve"
+)
+
+// ServeExperiment measures the tiling service under concurrent mixed
+// load, cold against warm: the same client fleet replays the same
+// request schedule against a cache-disabled server (every request runs
+// the full compile pipeline) and against a cache-enabled one. The
+// speedup is the plan cache's end-to-end value: how much throughput the
+// single-flight LRU buys once the working set is resident. Checksums of
+// every executed run are tracked per spec across both phases — the
+// experiment is void if caching ever changes a computed value.
+type ServeExperiment struct {
+	Specs    int `json:"specs"`
+	Clients  int `json:"clients"`
+	Requests int `json:"requests_per_client"`
+
+	Cold ServePhase `json:"cold"`
+	Warm ServePhase `json:"warm"`
+
+	// Speedup is warm throughput over cold throughput on the identical
+	// schedule.
+	Speedup float64 `json:"speedup"`
+	// ChecksumsStable is true iff every run of one spec — cold, warm,
+	// cache hit or recompile — produced the identical result digest.
+	ChecksumsStable bool `json:"checksums_stable"`
+}
+
+// ServePhase is one load phase's measurement.
+type ServePhase struct {
+	Requests     int     `json:"requests"`
+	Runs         int     `json:"runs"`
+	Errors       int     `json:"errors"`
+	Seconds      float64 `json:"seconds"`
+	Throughput   float64 `json:"requests_per_sec"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Compiles     int64   `json:"compiles"`
+}
+
+// serveSpecs builds n distinct 2D heat specs: structure identical, cache
+// keys distinct (sizes, tile factors and the constant term vary).
+func serveSpecs(n int) []string {
+	tiles := []string{"1/3 0 / 0 1/4", "1/3 0 / 0 1/6", "1/2 0 / 0 1/4"}
+	specs := make([]string, n)
+	for i := range specs {
+		specs[i] = fmt.Sprintf(`
+let M = 8
+let N = %d
+for t = 1 .. M
+for i = 1 .. N
+A[t,i] = 0.5*(A[t-1,i] + A[t,i-1]) + %d
+tile %s
+`, 24+8*(i%5), 1+i, tiles[i%len(tiles)])
+	}
+	return specs
+}
+
+// RunServeExperiment drives clients concurrent clients, each issuing
+// perClient requests over a mixed schedule (certify-heavy with a run
+// every eighth request), against a cold and a warm server.
+func RunServeExperiment(clients, perClient int) (*ServeExperiment, error) {
+	specs := serveSpecs(8)
+	exp := &ServeExperiment{Specs: len(specs), Clients: clients, Requests: perClient}
+
+	sums := map[string]map[string]bool{} // spec -> set of observed checksums
+	var sumsMu sync.Mutex
+	note := func(spec, sum string) {
+		sumsMu.Lock()
+		defer sumsMu.Unlock()
+		if sums[spec] == nil {
+			sums[spec] = map[string]bool{}
+		}
+		sums[spec][sum] = true
+	}
+
+	run := func(cfg serve.Config) (ServePhase, error) {
+		srv := serve.New(cfg)
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		client := ts.Client()
+		client.Transport.(*http.Transport).MaxIdleConnsPerHost = clients
+
+		// Warm phase only: prime the cache so the measurement sees the
+		// steady state, not the first-touch misses.
+		if cfg.CacheCapacity > 0 {
+			for _, spec := range specs {
+				if err := postCertify(client, ts.URL, spec); err != nil {
+					return ServePhase{}, fmt.Errorf("prime: %w", err)
+				}
+			}
+		}
+
+		var (
+			mu        sync.Mutex
+			latencies []time.Duration
+			phase     ServePhase
+			firstErr  error
+		)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					spec := specs[(c*perClient+i)%len(specs)]
+					t0 := time.Now()
+					var sum string
+					var err error
+					isRun := i%8 == 7
+					switch {
+					case isRun:
+						sum, err = postRun(client, ts.URL, spec)
+					case i%3 == 0:
+						err = postAnalyze(client, ts.URL, spec)
+					default:
+						err = postCertify(client, ts.URL, spec)
+					}
+					d := time.Since(t0)
+					mu.Lock()
+					latencies = append(latencies, d)
+					phase.Requests++
+					if isRun {
+						phase.Runs++
+					}
+					if err != nil {
+						phase.Errors++
+						if firstErr == nil {
+							firstErr = err
+						}
+					}
+					mu.Unlock()
+					if err == nil && sum != "" {
+						note(spec, sum)
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		phase.Seconds = time.Since(start).Seconds()
+		if firstErr != nil {
+			return phase, firstErr
+		}
+		phase.Throughput = float64(phase.Requests) / phase.Seconds
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		phase.P50MS = latencies[len(latencies)/2].Seconds() * 1e3
+		phase.P99MS = latencies[len(latencies)*99/100].Seconds() * 1e3
+
+		var m serve.MetricsSnapshot
+		resp, err := client.Get(ts.URL + "/metrics")
+		if err != nil {
+			return phase, err
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			return phase, err
+		}
+		phase.CacheHitRate = m.Cache.HitRate
+		phase.Compiles = m.Cache.Compiles
+		return phase, nil
+	}
+
+	var err error
+	if exp.Cold, err = run(serve.Config{}.Uncached()); err != nil {
+		return nil, fmt.Errorf("cold phase: %w", err)
+	}
+	if exp.Warm, err = run(serve.Config{CacheCapacity: 256}); err != nil {
+		return nil, fmt.Errorf("warm phase: %w", err)
+	}
+	exp.Speedup = exp.Warm.Throughput / exp.Cold.Throughput
+
+	exp.ChecksumsStable = true
+	for _, set := range sums {
+		if len(set) != 1 {
+			exp.ChecksumsStable = false
+		}
+	}
+	return exp, nil
+}
+
+type serveResultBody struct {
+	Checksum string `json:"checksum"`
+	Error    string `json:"error"`
+}
+
+func postServe(client *http.Client, url, path string, body any) (serveResultBody, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return serveResultBody{}, err
+	}
+	resp, err := client.Post(url+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return serveResultBody{}, err
+	}
+	defer resp.Body.Close()
+	var out serveResultBody
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return serveResultBody{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, out.Error)
+	}
+	return out, nil
+}
+
+func postAnalyze(client *http.Client, url, spec string) error {
+	_, err := postServe(client, url, "/v1/analyze", map[string]string{"source": spec})
+	return err
+}
+
+func postCertify(client *http.Client, url, spec string) error {
+	_, err := postServe(client, url, "/v1/certify", map[string]string{"source": spec})
+	return err
+}
+
+func postRun(client *http.Client, url, spec string) (string, error) {
+	out, err := postServe(client, url, "/v1/run", map[string]any{"source": spec})
+	return out.Checksum, err
+}
+
+// Render writes the experiment as text.
+func (e *ServeExperiment) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== serve: cold compile vs shared plan cache (%d specs, %d clients x %d reqs) ==\n",
+		e.Specs, e.Clients, e.Requests)
+	row := func(name string, p ServePhase) {
+		fmt.Fprintf(&b, "%6s  %6.1f req/s  p50 %6.2fms  p99 %7.2fms  hit %4.0f%%  compiles %4d  errors %d\n",
+			name, p.Throughput, p.P50MS, p.P99MS, p.CacheHitRate*100, p.Compiles, p.Errors)
+	}
+	row("cold", e.Cold)
+	row("warm", e.Warm)
+	fmt.Fprintf(&b, "warm/cold speedup: %.1fx   checksums stable: %v\n", e.Speedup, e.ChecksumsStable)
+	return b.String()
+}
+
+// JSON renders the committed snapshot (BENCH_serve.json).
+func (e *ServeExperiment) JSON() ([]byte, error) {
+	return json.MarshalIndent(e, "", "  ")
+}

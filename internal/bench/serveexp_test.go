@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+// TestServeExperiment runs a scaled-down load battery and checks the
+// properties the committed BENCH_serve.json claims at full scale: the
+// warm cache buys a real throughput multiple, hits dominate the warm
+// phase, compiles collapse to one per spec, and caching never changes a
+// computed value. The asserted speedup floor is deliberately below the
+// snapshot's (the race detector and CI noise compress the ratio);
+// regenerating the snapshot via `clusterbench -serve` enforces the
+// headline number.
+func TestServeExperiment(t *testing.T) {
+	e, err := RunServeExperiment(4, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", e.Render())
+
+	if e.Cold.Errors != 0 || e.Warm.Errors != 0 {
+		t.Fatalf("errors: cold %d warm %d", e.Cold.Errors, e.Warm.Errors)
+	}
+	if !e.ChecksumsStable {
+		t.Fatal("caching changed a computed result")
+	}
+	if e.Warm.Compiles != int64(e.Specs) {
+		t.Fatalf("warm phase compiled %d times, want once per spec (%d)", e.Warm.Compiles, e.Specs)
+	}
+	if e.Cold.CacheHitRate != 0 {
+		t.Fatalf("cold phase hit rate %v, want 0 (cache disabled)", e.Cold.CacheHitRate)
+	}
+	if e.Warm.CacheHitRate < 0.9 {
+		t.Fatalf("warm hit rate %.2f, want >= 0.9", e.Warm.CacheHitRate)
+	}
+	if e.Speedup < 2 {
+		t.Fatalf("warm/cold speedup %.2f, want >= 2 even under the race detector", e.Speedup)
+	}
+}

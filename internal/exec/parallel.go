@@ -67,6 +67,15 @@ type RunOptions struct {
 	// rank restarts from its last snapshot with unacknowledged sends
 	// replayed. Nil disables checkpointing (no per-tile overhead).
 	Checkpoint *CheckpointOptions
+	// World, when non-nil, supplies a pooled runtime world instead of
+	// constructing a fresh one per run — the reuse seam the serve layer's
+	// world pool relies on. It must have exactly Dist.NumProcs() ranks and
+	// no run in flight; it is Reset under this run's Net options before
+	// any rank starts, so a reused world behaves bit-identically to a
+	// fresh one (internal/exec reuse tests assert Global and Stats). The
+	// world is not torn down on return: the caller owns it and may hand it
+	// to the next run.
+	World *mpi.World
 }
 
 // RunParallel executes the program as the paper's generated data-parallel
@@ -104,7 +113,15 @@ func (p *Program) RunParallelOpts(opt RunOptions) (*Global, mpi.Stats, error) {
 	}
 	g := NewGlobal(lo, hi, p.Width)
 
-	world := mpi.NewWorldOpts(p.Dist.NumProcs(), opt.Net)
+	world := opt.World
+	if world != nil {
+		if world.Size() != p.Dist.NumProcs() {
+			return nil, mpi.Stats{}, fmt.Errorf("exec: pooled world has %d ranks, program needs %d", world.Size(), p.Dist.NumProcs())
+		}
+		world.Reset(opt.Net)
+	} else {
+		world = mpi.NewWorldOpts(p.Dist.NumProcs(), opt.Net)
+	}
 	if opt.Trace != nil {
 		opt.Trace.reset(p.Dist.NumProcs())
 	}

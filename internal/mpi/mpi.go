@@ -332,6 +332,50 @@ func NewWorldOpts(size int, opts Options) *World {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
+// Reset returns the world to its just-constructed state under new
+// options, so a pooled World can be reused across runs without paying
+// construction again: traffic counters, watchdog progress state, fault
+// link-sequence counters, the abort flag, the barrier and every mailbox
+// are reinitialized exactly as NewWorldOpts would. A reused world is
+// indistinguishable from a fresh one — the exec reuse tests assert
+// bit-identical Stats against a cold world.
+//
+// Reset must only be called between runs: RunE has returned (its rank
+// and NIC goroutines are gone by then, even after an abort), and no new
+// RunE has started. Calling it while ranks are active panics.
+func (w *World) Reset(opts Options) {
+	if w.active.Load() != 0 {
+		panic("mpi: Reset while ranks are active")
+	}
+	if err := opts.Faults.Validate(); err != nil {
+		panic(err.Error())
+	}
+	w.opts = opts
+	w.aborted.Store(false)
+	w.barrier = newBarrier(w.size)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	w.messages.Store(0)
+	w.values.Store(0)
+	for i := range w.perRank {
+		rc := &w.perRank[i]
+		rc.blocking.Store(0)
+		rc.overlapped.Store(0)
+		rc.values.Store(0)
+		rc.recvs.Store(0)
+		rc.valuesRecvd.Store(0)
+		rc.sendRetries.Store(0)
+	}
+	w.progress.Store(0)
+	w.blocked.Store(0)
+	w.nicBusy.Store(0)
+	w.faultBusy.Store(0)
+	for i := range w.linkSeqs {
+		w.linkSeqs[i].Store(0)
+	}
+}
+
 // Stats returns the cumulative traffic counters.
 func (w *World) Stats() Stats {
 	st := Stats{

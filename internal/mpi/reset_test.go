@@ -1,0 +1,185 @@
+package mpi
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// ringTraffic is a fixed deterministic traffic pattern: every rank sends
+// r+1 messages to its ring successor, receives from its predecessor, and
+// the world finishes with an Allreduce — blocking and overlapped paths
+// both exercised.
+func ringTraffic(c *Comm) {
+	next := (c.Rank() + 1) % c.Size()
+	prev := (c.Rank() - 1 + c.Size()) % c.Size()
+	for i := 0; i <= c.Rank(); i++ {
+		c.Send(next, 7, []float64{float64(c.Rank()), float64(i)})
+	}
+	req := c.Isend(next, 8, make([]float64, 3+c.Rank()))
+	for i := 0; i <= prev; i++ {
+		c.Recv(prev, 7)
+	}
+	c.Recv(prev, 8)
+	req.Wait()
+	c.Barrier()
+	c.Allreduce(OpSum, []float64{1})
+}
+
+// TestWorldResetBitIdenticalStats is the pooling seam's contract: a
+// world that already ran arbitrary other traffic, once Reset, produces
+// Stats bit-identical to a freshly constructed world running the same
+// pattern.
+func TestWorldResetBitIdenticalStats(t *testing.T) {
+	const size = 5
+	opts := Options{Watchdog: 2 * time.Second}
+
+	fresh := NewWorldOpts(size, opts)
+	if err := fresh.RunE(ringTraffic); err != nil {
+		t.Fatal(err)
+	}
+	want := fresh.Stats()
+
+	reused := NewWorldOpts(size, Options{LinkLatency: 50 * time.Microsecond})
+	// Dirty the world with unrelated traffic first.
+	if err := reused.RunE(func(c *Comm) {
+		c.Bcast(0, make([]float64, 100))
+		c.Barrier()
+		c.Isend((c.Rank()+2)%size, 3, make([]float64, 11)).Wait()
+		c.Recv((c.Rank()-2+size)%size, 3)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(reused.Stats(), want) {
+		t.Fatal("dirty-run stats unexpectedly equal the reference pattern")
+	}
+
+	reused.Reset(opts)
+	if got := reused.Stats(); !reflect.DeepEqual(got, Stats{PerRank: make([]RankTraffic, size)}) {
+		t.Fatalf("Reset left non-zero stats: %+v", got)
+	}
+	if err := reused.RunE(ringTraffic); err != nil {
+		t.Fatal(err)
+	}
+	if got := reused.Stats(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reused world stats differ from fresh world:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWorldResetAfterAbort proves a world whose previous run died (rank
+// panic, poisoned barrier, stranded mailbox messages) is fully usable
+// again after Reset.
+func TestWorldResetAfterAbort(t *testing.T) {
+	const size = 4
+	w := NewWorld(size)
+	err := w.RunE(func(c *Comm) {
+		// Rank 2 sends a message nobody claims, then dies; rank 0 parks in
+		// the barrier so teardown has someone to poison.
+		if c.Rank() == 2 {
+			c.Send(0, 9, []float64{1, 2, 3})
+			panic("injected failure")
+		}
+		c.Barrier()
+	})
+	if err == nil {
+		t.Fatal("expected the injected panic to surface")
+	}
+
+	w.Reset(Options{})
+	fresh := NewWorld(size)
+	if err := fresh.RunE(ringTraffic); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunE(ringTraffic); err != nil {
+		t.Fatalf("reused world after abort: %v", err)
+	}
+	if got, want := w.Stats(), fresh.Stats(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-abort reused world stats differ:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWorldResetClearsFaultState proves a fault plan attached to one run
+// does not leak into the next: the reused world injects nothing after a
+// Reset with clean options, and its link sequence counters restart so a
+// re-attached plan perturbs the same messages as on a fresh world.
+func TestWorldResetClearsFaultState(t *testing.T) {
+	const size = 3
+	plan := &FaultPlan{
+		Seed:  42,
+		Links: map[Link]LinkFault{{Src: 0, Dst: 1}: {Delay: time.Millisecond, Jitter: time.Millisecond}},
+		Sends: &SendFaults{Rate: 0.9, MaxRetries: 3, Backoff: time.Microsecond},
+	}
+	w := NewWorldOpts(size, Options{Faults: plan})
+	if err := w.RunE(ringTraffic); err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().SendRetries == 0 {
+		t.Fatal("fault plan injected no retries; the test needs a busier plan")
+	}
+
+	w.Reset(Options{})
+	if err := w.RunE(ringTraffic); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().SendRetries; got != 0 {
+		t.Fatalf("faults leaked across Reset: %d retries injected", got)
+	}
+
+	// Re-attach the same plan on the reused world and on a fresh one: the
+	// deterministic per-link sequence numbering must restart identically.
+	w.Reset(Options{Faults: plan})
+	if err := w.RunE(ringTraffic); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewWorldOpts(size, Options{Faults: plan})
+	if err := fresh.RunE(ringTraffic); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.Stats(), fresh.Stats(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replanned reused world stats differ from fresh:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWorldResetWhileActivePanics pins the misuse guard.
+func TestWorldResetWhileActivePanics(t *testing.T) {
+	w := NewWorld(2)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- w.RunE(func(c *Comm) {
+			if c.Rank() == 0 {
+				close(entered)
+			}
+			<-release
+		})
+	}()
+	<-entered
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Reset during an active run did not panic")
+			}
+		}()
+		w.Reset(Options{})
+	}()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorldResetValidatesFaults pins that Reset rejects an invalid plan
+// exactly like NewWorldOpts.
+func TestWorldResetValidatesFaults(t *testing.T) {
+	w := NewWorld(2)
+	bad := &FaultPlan{Sends: &SendFaults{Rate: 2}}
+	defer func() {
+		if recover() == nil {
+			t.Error("Reset accepted an invalid fault plan")
+		}
+	}()
+	w.Reset(Options{Faults: bad})
+	_ = fmt.Sprint(bad)
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errBusy is the backpressure signal: the run queue is full and the
+// client should retry after the hinted interval (HTTP 429 + Retry-After).
+var errBusy = errors.New("serve: run queue full")
+
+// admission bounds the execution side of the service: at most
+// maxInFlight runs execute concurrently, at most maxQueue more wait for
+// a slot, and anything beyond that fails fast instead of piling latency
+// onto everyone. Compile-only endpoints are not admission-controlled —
+// they are bounded by the cache's single-flight property.
+type admission struct {
+	maxQueue   int
+	retryAfter time.Duration
+
+	slots    chan struct{} // capacity = max in-flight runs
+	queued   atomic.Int64
+	rejected atomic.Int64
+}
+
+func newAdmission(maxInFlight, maxQueue int, retryAfter time.Duration) *admission {
+	return &admission{
+		maxQueue:   maxQueue,
+		retryAfter: retryAfter,
+		slots:      make(chan struct{}, maxInFlight),
+	}
+}
+
+// acquire reserves a run slot, queuing behind up to maxQueue other
+// waiters. It returns the release function on success, errBusy when the
+// queue is full, or ctx.Err() when the client gives up while queued.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	if a.queued.Add(1) > int64(a.maxQueue) {
+		a.queued.Add(-1)
+		a.rejected.Add(1)
+		return nil, errBusy
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// inFlight returns the number of runs currently holding a slot.
+func (a *admission) inFlight() int { return len(a.slots) }

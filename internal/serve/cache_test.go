@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testKey builds a distinct key without going through the parser.
+func testKey(i int) Key {
+	return Key{Hash: uint64(i) * 0x9e3779b97f4a7c15, Ident: fmt.Sprintf("spec-%d", i)}
+}
+
+// TestCacheSingleFlight is the satellite contract: 64 goroutines racing
+// on one uncached key run the compile function exactly once, and every
+// caller gets the same Artifact pointer.
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache(8)
+	var compiles atomic.Int64
+	key := testKey(1)
+
+	const goroutines = 64
+	var start, done sync.WaitGroup
+	start.Add(1)
+	arts := make([]*Artifact, goroutines)
+	for i := 0; i < goroutines; i++ {
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			art, _, err := c.Get(key, func() (*Artifact, error) {
+				compiles.Add(1)
+				time.Sleep(5 * time.Millisecond) // widen the race window
+				return &Artifact{Key: key}, nil
+			})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+			}
+			arts[i] = art
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+
+	if n := compiles.Load(); n != 1 {
+		t.Fatalf("compiled %d times, want exactly 1", n)
+	}
+	for i, a := range arts {
+		if a != arts[0] {
+			t.Fatalf("goroutine %d got a different Artifact pointer", i)
+		}
+	}
+	_, _, _, cacheCompiles := c.Stats()
+	if cacheCompiles != 1 {
+		t.Fatalf("cache counted %d compiles, want 1", cacheCompiles)
+	}
+}
+
+// TestCacheHitAfterMiss checks the basic hit path and the hit/miss
+// accounting.
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache(8)
+	key := testKey(1)
+	compile := func() (*Artifact, error) { return &Artifact{Key: key}, nil }
+
+	a1, hit, err := c.Get(key, compile)
+	if err != nil || hit {
+		t.Fatalf("first Get: hit=%v err=%v, want miss", hit, err)
+	}
+	a2, hit, err := c.Get(key, compile)
+	if err != nil || !hit {
+		t.Fatalf("second Get: hit=%v err=%v, want hit", hit, err)
+	}
+	if a1 != a2 {
+		t.Fatal("hit returned a different Artifact pointer")
+	}
+	hits, misses, _, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+// TestCacheEvictsLRU fills one shard past capacity and checks that the
+// least recently used entry is the one recompiled.
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache(1) // one entry per shard
+	// Two keys in the same shard: same Hash residue, different Ident.
+	k1 := Key{Hash: cacheShards, Ident: "one"}
+	k2 := Key{Hash: 2 * cacheShards, Ident: "two"}
+	mk := func(k Key) func() (*Artifact, error) {
+		return func() (*Artifact, error) { return &Artifact{Key: k}, nil }
+	}
+
+	if _, hit, _ := c.Get(k1, mk(k1)); hit {
+		t.Fatal("k1 should miss cold")
+	}
+	if _, hit, _ := c.Get(k2, mk(k2)); hit {
+		t.Fatal("k2 should miss and evict k1")
+	}
+	if _, hit, _ := c.Get(k2, mk(k2)); !hit {
+		t.Fatal("k2 should still be cached")
+	}
+	if _, hit, _ := c.Get(k1, mk(k1)); hit {
+		t.Fatal("k1 should have been evicted")
+	}
+	_, _, evictions, _ := c.Stats()
+	if evictions < 2 {
+		t.Fatalf("evictions = %d, want >= 2", evictions)
+	}
+}
+
+// TestCacheErrorNotCached checks that a failed compile is retried: the
+// error is delivered to every waiter of that flight, but the next
+// request compiles again.
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(8)
+	key := testKey(1)
+	boom := errors.New("boom")
+	var calls atomic.Int64
+
+	_, _, err := c.Get(key, func() (*Artifact, error) { calls.Add(1); return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	art, hit, err := c.Get(key, func() (*Artifact, error) { calls.Add(1); return &Artifact{Key: key}, nil })
+	if err != nil || hit || art == nil {
+		t.Fatalf("retry: art=%v hit=%v err=%v, want fresh compile", art, hit, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("compile ran %d times, want 2", calls.Load())
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+// TestCacheCompilePanicUnblocksWaiters checks the panic path: waiters
+// must get an error, not a hang, and the key must stay compilable.
+func TestCacheCompilePanicUnblocksWaiters(t *testing.T) {
+	c := NewCache(8)
+	key := testKey(1)
+
+	release := make(chan struct{})
+	waiterErr := make(chan error, 1)
+	go func() {
+		// The waiter joins the in-flight panic below.
+		<-release
+		_, _, err := c.Get(key, func() (*Artifact, error) {
+			t.Error("waiter should have joined the in-flight compile")
+			return nil, nil
+		})
+		waiterErr <- err
+	}()
+
+	func() {
+		defer func() { recover() }()
+		c.Get(key, func() (*Artifact, error) {
+			close(release)
+			time.Sleep(10 * time.Millisecond) // let the waiter join
+			panic("compile exploded")
+		})
+	}()
+
+	select {
+	case err := <-waiterErr:
+		if err == nil {
+			t.Fatal("waiter got nil error after compile panic")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung after compile panic")
+	}
+	// The key is retryable.
+	if _, _, err := c.Get(key, func() (*Artifact, error) { return &Artifact{Key: key}, nil }); err != nil {
+		t.Fatalf("retry after panic: %v", err)
+	}
+}
+
+// TestCacheDisabledAlwaysCompiles checks the capacity<=0 cold-baseline
+// mode used by the bench.
+func TestCacheDisabledAlwaysCompiles(t *testing.T) {
+	c := NewCache(0)
+	key := testKey(1)
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		_, hit, err := c.Get(key, func() (*Artifact, error) { calls.Add(1); return &Artifact{Key: key}, nil })
+		if err != nil || hit {
+			t.Fatalf("disabled cache: hit=%v err=%v", hit, err)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("compile ran %d times, want 3", calls.Load())
+	}
+}
+
+// TestCacheHammer churns a tiny cache from many goroutines with a keyset
+// much larger than capacity — the race detector's playground for the
+// shard locks, the LRU links and the single-flight publish.
+func TestCacheHammer(t *testing.T) {
+	c := NewCache(4)
+	const (
+		goroutines = 16
+		iters      = 200
+		keys       = 32
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := testKey((g*7 + i) % keys)
+				art, _, err := c.Get(k, func() (*Artifact, error) {
+					return &Artifact{Key: k}, nil
+				})
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if art.Key.Ident != k.Ident {
+					t.Errorf("got artifact for %q, want %q", art.Key.Ident, k.Ident)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Per-shard capacity clamps to at least one entry, so the bound is
+	// max(capacity, cacheShards), not the nominal capacity.
+	if n := c.Len(); n > cacheShards {
+		t.Fatalf("cache holds %d entries, want <= %d", n, cacheShards)
+	}
+}

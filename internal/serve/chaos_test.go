@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+)
+
+// This file extends PR 5's chaos matrix through the service path: the
+// same deterministic fault plans, but injected via the /v1/run JSON
+// schema and executed on pooled, Reset worlds. The contract is
+// unchanged — a faulted run recovers and produces the fault-free
+// checksum bit for bit — and it must hold on the *second* faulted run
+// too, when the world comes from the pool instead of fresh.
+
+// chaosCases are the wire-form fault plans, one per fault class.
+func chaosCases() map[string]runRequest {
+	src := heatSpec(12)
+	return map[string]runRequest{
+		"link-delay-jitter": {
+			Source: src,
+			Faults: &faultReq{Seed: 7, Links: []linkFaultReq{
+				{Src: 0, Dst: 1, DelayUS: 300, JitterUS: 200},
+				{Src: 1, Dst: 0, DelayUS: 300, JitterUS: 200},
+			}},
+		},
+		"transient-sends": {
+			Source:  src,
+			Overlap: true,
+			Faults:  &faultReq{Seed: 7, SendRate: 0.3, SendMaxRetries: 8, SendBackoffUS: 100},
+		},
+		"crash-restart": {
+			Source:          src,
+			Faults:          &faultReq{Seed: 7, Crash: map[string]int64{"1": 1}, RestartDelayUS: 500},
+			CheckpointEvery: 1,
+		},
+		"crash-restart-overlap": {
+			Source:          src,
+			Overlap:         true,
+			Faults:          &faultReq{Seed: 7, Crash: map[string]int64{"1": 1, "3": 2}, RestartDelayUS: 500},
+			CheckpointEvery: 2,
+		},
+	}
+}
+
+// TestChaosThroughServer replays every fault class twice against one
+// server: round 0 on a fresh world, round 1 on the pooled world the
+// previous faulted (possibly crashed-and-restarted) run dirtied.
+func TestChaosThroughServer(t *testing.T) {
+	leakCheck(t)
+	s, ts, client := newTestServer(t, Config{})
+	src := heatSpec(12)
+
+	// Fault-free reference checksum through the same server.
+	resp, body := postJSON(t, client, ts.URL+"/v1/run", runRequest{Source: src})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference run: %d %s", resp.StatusCode, body)
+	}
+	want := decode[runResponse](t, body).Checksum
+
+	for name, req := range chaosCases() {
+		t.Run(name, func(t *testing.T) {
+			for round := 0; round < 2; round++ {
+				resp, body := postJSON(t, client, ts.URL+"/v1/run", req)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("round %d: %d %s", round, resp.StatusCode, body)
+				}
+				if sum := decode[runResponse](t, body).Checksum; sum != want {
+					t.Fatalf("round %d: checksum %s, want fault-free %s", round, sum, want)
+				}
+			}
+		})
+	}
+	if created, reused := s.worlds.stats(); reused == 0 {
+		t.Fatalf("worlds created=%d reused=%d — pooled path never exercised", created, reused)
+	}
+}
+
+// TestCrashWithoutCheckpointFails checks the failure path end to end: a
+// crash with no checkpointing aborts the run with a 500, and the world
+// that aborted is still safely pooled — the next clean run on it agrees
+// with the reference.
+func TestCrashWithoutCheckpointFails(t *testing.T) {
+	leakCheck(t)
+	_, ts, client := newTestServer(t, Config{})
+	src := heatSpec(12)
+
+	resp, body := postJSON(t, client, ts.URL+"/v1/run", runRequest{Source: src})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference run: %d %s", resp.StatusCode, body)
+	}
+	want := decode[runResponse](t, body).Checksum
+
+	resp, body = postJSON(t, client, ts.URL+"/v1/run", runRequest{
+		Source: src,
+		Faults: &faultReq{Seed: 3, Crash: map[string]int64{"1": 0}},
+	})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("crash without checkpoint: %d %s, want 500", resp.StatusCode, body)
+	}
+
+	// The aborted world went back to the pool; Reset must make the next
+	// run on it indistinguishable from a fresh world.
+	resp, body = postJSON(t, client, ts.URL+"/v1/run", runRequest{Source: src})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run after abort: %d %s", resp.StatusCode, body)
+	}
+	if sum := decode[runResponse](t, body).Checksum; sum != want {
+		t.Fatalf("run after abort: checksum %s, want %s", sum, want)
+	}
+}
+
+// TestBadFaultPlanRejected checks request validation: an invalid send
+// failure rate is a 400, not a run that explodes later.
+func TestBadFaultPlanRejected(t *testing.T) {
+	leakCheck(t)
+	_, ts, client := newTestServer(t, Config{})
+
+	resp, body := postJSON(t, client, ts.URL+"/v1/run", runRequest{
+		Source: heatSpec(12),
+		Faults: &faultReq{Seed: 1, SendRate: 2.0},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("rate 2.0: %d %s, want 400", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, client, ts.URL+"/v1/run", runRequest{
+		Source: heatSpec(12),
+		Faults: &faultReq{Seed: 1, Crash: map[string]int64{"one": 1}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad crash rank: %d %s, want 400", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestEvictionUnderLoad is the satellite contract for safe eviction:
+// with a cache far smaller than the working set, runs keep executing on
+// Artifacts that get evicted mid-flight. Every in-flight run must finish
+// bit-identical to the reference (the Artifact is immutable, holders
+// keep their pointer), and a re-request of an evicted spec must
+// recompile — never serve stale or corrupt state. Run with -race.
+func TestEvictionUnderLoad(t *testing.T) {
+	leakCheck(t)
+	s, ts, client := newTestServer(t, Config{CacheCapacity: 1, MaxInFlight: 4, MaxQueue: 256})
+
+	// The spec whose artifact we want evicted mid-run, plus its
+	// reference checksum from a direct in-process execution.
+	victim := heatSpec(12)
+	art, err := compileSpec(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := art.Prog.RunParallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := art.Checksum(g)
+
+	// Slow the victim runs down with deterministic per-link delay so the
+	// churn below overlaps them; injected delay never changes results.
+	slowRun := runRequest{
+		Source: victim,
+		Faults: &faultReq{Seed: 1, Links: []linkFaultReq{
+			{Src: 0, Dst: 1, DelayUS: 1500}, {Src: 1, Dst: 2, DelayUS: 1500},
+			{Src: 2, Dst: 3, DelayUS: 1500}, {Src: 3, Dst: 4, DelayUS: 1500},
+		}},
+	}
+
+	const (
+		runners  = 4
+		churners = 4
+		churnSet = 48 // distinct specs, vs capacity 1 — constant eviction
+	)
+	var wg sync.WaitGroup
+	for r := 0; r < runners; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				resp, body := postJSON(t, client, ts.URL+"/v1/run", slowRun)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("runner %d: %d %s", r, resp.StatusCode, body)
+					return
+				}
+				if sum := decode[runResponse](t, body).Checksum; sum != want {
+					t.Errorf("runner %d: checksum %s, want %s (evicted mid-run?)", r, sum, want)
+				}
+			}
+		}(r)
+	}
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < churnSet/churners; i++ {
+				src := heatSpec(16 + 4*(c*(churnSet/churners)+i))
+				resp, body := postJSON(t, client, ts.URL+"/v1/analyze", specRequest{Source: src})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("churner %d: %d %s", c, resp.StatusCode, body)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	_, _, evictions, compilesBefore := s.cache.Stats()
+	if evictions == 0 {
+		t.Fatal("churn produced no evictions — the test exercised nothing")
+	}
+
+	// The victim is (almost certainly) evicted by now; the next request
+	// must recompile and still agree bit for bit.
+	resp, body := postJSON(t, client, ts.URL+"/v1/run", runRequest{Source: victim})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-churn run: %d %s", resp.StatusCode, body)
+	}
+	r := decode[runResponse](t, body)
+	if r.Checksum != want {
+		t.Fatalf("post-churn checksum %s, want %s", r.Checksum, want)
+	}
+	if r.CacheHit {
+		t.Log("victim survived the churn (same-shard capacity); recompile path not exercised this run")
+	} else if _, _, _, compiles := s.cache.Stats(); compiles <= compilesBefore {
+		t.Fatalf("miss did not recompile: compiles %d -> %d", compilesBefore, compiles)
+	}
+}

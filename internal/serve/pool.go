@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tilespace/internal/mpi"
+)
+
+// poolPerSize bounds how many idle worlds of one rank count the pool
+// retains; beyond it returned worlds are dropped for the GC. In-flight
+// runs are bounded by admission control, so the pool never needs more
+// than maxInFlight worlds per size anyway — this just caps the idle set.
+const poolPerSize = 8
+
+// worldPool recycles mpi Worlds by rank count. A World's construction
+// cost (mailboxes, counters, barrier) scales with its size; a hot spec
+// served thousands of times reuses the same few worlds instead. The
+// executor Resets a pooled world under each run's options before any
+// rank starts (see exec.RunOptions.World), so a pooled world is
+// bit-identical in behaviour to a fresh one — even after a previous run
+// on it aborted.
+type worldPool struct {
+	mu      sync.Mutex
+	free    map[int][]*mpi.World
+	created atomic.Int64
+	reused  atomic.Int64
+}
+
+func newWorldPool() *worldPool {
+	return &worldPool{free: map[int][]*mpi.World{}}
+}
+
+// get returns a world of exactly size ranks, reusing an idle one when
+// available.
+func (p *worldPool) get(size int) *mpi.World {
+	p.mu.Lock()
+	if ws := p.free[size]; len(ws) > 0 {
+		w := ws[len(ws)-1]
+		p.free[size] = ws[:len(ws)-1]
+		p.mu.Unlock()
+		p.reused.Add(1)
+		return w
+	}
+	p.mu.Unlock()
+	p.created.Add(1)
+	return mpi.NewWorld(size)
+}
+
+// put returns a world to the pool once its run has fully finished
+// (RunE returned, so no rank or NIC goroutine is alive on it).
+func (p *worldPool) put(w *mpi.World) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free[w.Size()]) < poolPerSize {
+		p.free[w.Size()] = append(p.free[w.Size()], w)
+	}
+}
+
+// stats returns how many worlds were constructed and how many gets were
+// served by reuse.
+func (p *worldPool) stats() (created, reused int64) {
+	return p.created.Load(), p.reused.Load()
+}

@@ -53,6 +53,7 @@ import (
 	"tilespace/internal/poly"
 	"tilespace/internal/rat"
 	"tilespace/internal/schedule"
+	"tilespace/internal/serve"
 	"tilespace/internal/simnet"
 	"tilespace/internal/tiling"
 	"tilespace/internal/verify"
@@ -579,3 +580,19 @@ func CandidateTiling(c *TilingCandidate) Tiling { return Tiling{h: c.H} }
 func (p *Program) OptimizeShape(o SearchOptions) (*SearchResult, error) {
 	return opt.Search(p.ts.Nest, o)
 }
+
+// TileServerConfig sizes the tiling service (re-exported from serve):
+// plan-cache capacity, in-flight run and queue bounds, the per-request
+// rank budget, and the run watchdog. The zero value gets sensible
+// defaults.
+type TileServerConfig = serve.Config
+
+// TileServer is the tiling-as-a-service HTTP handler (re-exported from
+// serve): POST /v1/analyze, /v1/certify, /v1/codegen and /v1/run share
+// compiled plans through a single-flight LRU, runs are
+// admission-controlled on pooled runtime worlds, and GET /metrics
+// exposes the live counters. See cmd/tileserved for the binary.
+type TileServer = serve.Server
+
+// NewTileServer returns a ready-to-mount service handler.
+func NewTileServer(cfg TileServerConfig) *TileServer { return serve.New(cfg) }

@@ -1,6 +1,11 @@
 package tilespace
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -372,5 +377,27 @@ func TestFacadeFaultInjection(t *testing.T) {
 	}
 	if marks != 2 {
 		t.Errorf("traced fault simulation has %d markers, want crash+restart", marks)
+	}
+}
+
+// TestFacadeTileServer mounts the re-exported service handler and
+// drives one spec through analyze and run.
+func TestFacadeTileServer(t *testing.T) {
+	srv := NewTileServer(TileServerConfig{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	spec := "let M = 6\nlet N = 12\nfor t = 1 .. M\nfor i = 1 .. N\nA[t,i] = 0.5*(A[t-1,i] + A[t,i-1]) + 3\ntile 1/3 0 / 0 1/4\n"
+	body, _ := json.Marshal(map[string]string{"source": spec})
+	for _, path := range []string{"/v1/analyze", "/v1/run"} {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, resp.StatusCode, raw)
+		}
 	}
 }
