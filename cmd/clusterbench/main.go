@@ -15,6 +15,7 @@
 //	clusterbench -scale 4         # shrink every space dimension 4×
 //	clusterbench -overlap         # also run the overlap ablation (simulator)
 //	clusterbench -execablation    # run blocking vs overlapped in the real runtime
+//	clusterbench -intrabench BENCH_intra.json  # sweep the intra-tile worker pool
 //	clusterbench -trace out.json  # trace the real runtime, export Chrome JSON
 //	clusterbench -gantt           # text Gantt of the measured SOR timeline
 //	clusterbench -faults          # fault-injection degradation, measured vs predicted
@@ -49,6 +50,7 @@ func main() {
 		overlap  = flag.Bool("overlap", false, "also run the computation-communication overlap ablation")
 		execAbl  = flag.Bool("execablation", false, "run blocking vs overlapped communication in the real runtime and compare with the simulator's prediction")
 		execPerf = flag.String("execbench", "", "measure the compiled-plan executor against the legacy per-point one and write the JSON snapshot to this path (e.g. BENCH_exec.json)")
+		intraPth = flag.String("intrabench", "", "sweep the intra-tile worker pool over a single-rank Jacobi chain and write the JSON snapshot to this path (e.g. BENCH_intra.json)")
 		tracePth = flag.String("trace", "", "trace the real runtime and write the measured SOR timeline as Chrome trace_event JSON to this path")
 		gantt    = flag.Bool("gantt", false, "with -trace (or alone): render a text Gantt of the measured SOR timeline")
 		faults   = flag.Bool("faults", false, "run the fault-injection degradation scenarios in the real runtime and compare with simnet's prediction")
@@ -134,6 +136,10 @@ func main() {
 
 	if *execPerf != "" {
 		runExecPerf(out, *execPerf)
+	}
+
+	if *intraPth != "" {
+		runIntraPerf(out, *intraPth)
 	}
 
 	if *tracePth != "" || *gantt {
@@ -256,6 +262,43 @@ func runTraceReport(out io.Writer, path string, gantt bool, par simnet.Params) {
 			return
 		}
 		fmt.Fprintf(out, "wrote Chrome trace_event JSON (%d bytes) to %s — open in chrome://tracing or ui.perfetto.dev\n\n", len(js), path)
+	}
+}
+
+// runIntraPerf sweeps the per-rank worker pool over the single-rank
+// Jacobi chain and writes the committed snapshot. The gate is enforced
+// here, not only in CI: any max_diff breaks the run everywhere, and on a
+// host with ≥ 4 cores the workers=4 compute sweep must clear 2× — on
+// smaller hosts the bar cannot bind and the snapshot just records the
+// honest numbers.
+func runIntraPerf(out io.Writer, path string) {
+	// Large (i, j) fronts (~14k points each) so per-front dispatch cost is
+	// amortized the way real tiles amortize it.
+	perf, err := bench.RunIntraPerf(4, 120, 7)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: intrabench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprint(out, perf.Render())
+	fmt.Fprintln(out)
+	for _, pt := range perf.Sweep {
+		if pt.MaxDiff != 0 {
+			fmt.Fprintf(os.Stderr, "clusterbench: intrabench: workers=%d diverged from serial by %g, want bit-identical\n", pt.Workers, pt.MaxDiff)
+			os.Exit(1)
+		}
+	}
+	if pt := perf.At(4); perf.Cores >= 4 && pt != nil && pt.Speedup < 2 {
+		fmt.Fprintf(os.Stderr, "clusterbench: intrabench: %d cores but workers=4 speedup %.2fx, want >= 2x\n", perf.Cores, pt.Speedup)
+		os.Exit(1)
+	}
+	js, err := perf.JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: intrabench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, js, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: intrabench: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"tilespace/internal/apps"
+	"tilespace/internal/exec"
+	"tilespace/internal/tiling"
+)
+
+// IntraPoint is one worker count of the intra-tile sweep.
+type IntraPoint struct {
+	Workers int `json:"workers"`
+	// Seconds is the best-of-rounds wall time of one compute-phase sweep
+	// over the whole tile chain (exec.ComputeSweep).
+	Seconds      float64 `json:"seconds"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	// Speedup is relative to the workers=1 row of the same sweep.
+	Speedup float64 `json:"speedup"`
+	// MaxDiff is the worst deviation of a full run at this worker count
+	// from the workers=1 run — the linear-extension theorem says the
+	// schedule is a legal reordering, so anything but 0 is a bug, not a
+	// rounding artifact.
+	MaxDiff float64 `json:"max_diff"`
+}
+
+// IntraPerf is the committed BENCH_intra.json snapshot: per-rank
+// compute-phase throughput of the second-level (intra-tile) wavefront
+// parallelization across worker-pool sizes. The workload is a single-rank
+// Jacobi chain — tile factors on the non-mapping dimensions cover the
+// skewed extents, so the tiles chain along time and each tile is one large
+// all-parallel (i, j) front, the best case the local work grid is built
+// for.
+type IntraPerf struct {
+	Workload string `json:"workload"`
+	// Cores is runtime.GOMAXPROCS(0) on the measuring host. The CI
+	// acceptance gate (speedup ≥ 2 at workers=4) only binds when the host
+	// actually has ≥ 4 cores; a laptop snapshot stays honest instead of
+	// recording fake parallel speedups.
+	Cores  int   `json:"cores"`
+	Procs  int   `json:"procs"`
+	Tiles  int64 `json:"tiles"`
+	Points int64 `json:"points"`
+	Rounds int   `json:"rounds"`
+
+	Sweep []IntraPoint `json:"sweep"`
+}
+
+// JSON renders the snapshot in the committed BENCH_intra.json format.
+func (p *IntraPerf) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Render formats the sweep as a report section.
+func (p *IntraPerf) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== intra-tile perf: per-rank worker pool over wavefront-parallel fronts ==\n")
+	fmt.Fprintf(&b, "%s — %d rank, %d tiles, %d points/sweep, %d cores, best of %d rounds\n",
+		p.Workload, p.Procs, p.Tiles, p.Points, p.Cores, p.Rounds)
+	fmt.Fprintf(&b, "%8s %12s %16s %9s %9s\n", "workers", "wall", "points/s", "speedup", "max_diff")
+	for _, pt := range p.Sweep {
+		fmt.Fprintf(&b, "%8d %11.3fms %16.0f %8.2fx %9g\n",
+			pt.Workers, pt.Seconds*1e3, pt.PointsPerSec, pt.Speedup, pt.MaxDiff)
+	}
+	return b.String()
+}
+
+// At returns the sweep row for a worker count, or nil.
+func (p *IntraPerf) At(workers int) *IntraPoint {
+	for i := range p.Sweep {
+		if p.Sweep[i].Workers == workers {
+			return &p.Sweep[i]
+		}
+	}
+	return nil
+}
+
+// RunIntraPerf builds the single-rank Jacobi workload (T time steps on an
+// n×n grid, rectangular tiles of one time step each covering the full
+// skewed plane) and sweeps the worker pool over {1, 2, 4, GOMAXPROCS}.
+// Throughput comes from compute-phase-only sweeps (exec.ComputeSweep);
+// MaxDiff comes from complete runs, so the bit-identity claim covers the
+// whole pipeline, pool teardown included.
+func RunIntraPerf(tSteps, n int64, rounds int) (*IntraPerf, error) {
+	app, err := apps.Jacobi(tSteps, n)
+	if err != nil {
+		return nil, err
+	}
+	// Skewed extents: dims 1 and 2 span [2, tSteps+n]. One tile factor
+	// beyond that keeps every tile lattice cell on the non-mapping
+	// dimensions at index 0 — exactly one processor.
+	side := tSteps + n + 1
+	ts, err := tiling.Analyze(app.Nest, app.Rect.H(1, side, side))
+	if err != nil {
+		return nil, err
+	}
+	p, err := exec.NewProgram(ts, app.MapDim, app.Width, app.Kernel, app.Initial)
+	if err != nil {
+		return nil, err
+	}
+	if procs := p.Dist.NumProcs(); procs != 1 {
+		return nil, fmt.Errorf("bench: intrabench fixture has %d ranks, want 1", procs)
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	perf := &IntraPerf{
+		Workload: fmt.Sprintf("Jacobi T=%d N=%d, rect x=1 y=z=%d", tSteps, n, side),
+		Cores:    runtime.GOMAXPROCS(0),
+		Procs:    1,
+		Tiles:    ts.NumTiles(),
+		Rounds:   rounds,
+	}
+
+	counts := []int{1, 2, 4}
+	if c := perf.Cores; c != 1 && c != 2 && c != 4 {
+		counts = append(counts, c)
+	}
+	sort.Ints(counts)
+
+	base, _, err := p.RunParallelOpts(exec.RunOptions{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	var serial float64
+	for _, w := range counts {
+		pts, secs, err := p.ComputeSweep(0, w, rounds)
+		if err != nil {
+			return nil, err
+		}
+		perf.Points = pts
+		pt := IntraPoint{Workers: w, Seconds: secs, PointsPerSec: float64(pts) / secs}
+		if w == 1 {
+			serial = secs
+		} else {
+			g, _, err := p.RunParallelOpts(exec.RunOptions{Workers: w})
+			if err != nil {
+				return nil, err
+			}
+			pt.MaxDiff, _ = base.MaxAbsDiff(g, p.ScanSpace)
+		}
+		pt.Speedup = serial / secs
+		perf.Sweep = append(perf.Sweep, pt)
+	}
+	return perf, nil
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunIntraPerf checks the snapshot's structural invariants on a small
+// fixture: single rank, one sweep row per worker count, bit-identical
+// results at every pool size, and a round-trippable JSON shape. Speed
+// itself is not asserted — the 2× bar lives in the clusterbench gate and
+// only binds on hosts with ≥ 4 cores.
+func TestRunIntraPerf(t *testing.T) {
+	perf, err := RunIntraPerf(3, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perf.Procs != 1 {
+		t.Fatalf("intrabench fixture has %d ranks, want 1", perf.Procs)
+	}
+	if perf.Tiles < 2 {
+		t.Fatalf("chain has %d tiles — no intra-tile sweep to speak of", perf.Tiles)
+	}
+	if perf.Points <= 0 {
+		t.Fatalf("sweep computes %d points", perf.Points)
+	}
+	if perf.Cores < 1 {
+		t.Fatalf("cores = %d", perf.Cores)
+	}
+	seen := map[int]bool{}
+	for _, pt := range perf.Sweep {
+		if seen[pt.Workers] {
+			t.Fatalf("worker count %d measured twice", pt.Workers)
+		}
+		seen[pt.Workers] = true
+		if pt.Seconds <= 0 || pt.PointsPerSec <= 0 || pt.Speedup <= 0 {
+			t.Fatalf("workers=%d: non-positive measurement %+v", pt.Workers, pt)
+		}
+		if pt.MaxDiff != 0 {
+			t.Fatalf("workers=%d drifted from the serial result by %g — the wavefront schedule must be bit-identical", pt.Workers, pt.MaxDiff)
+		}
+	}
+	for _, w := range []int{1, 2, 4} {
+		if !seen[w] {
+			t.Fatalf("sweep is missing workers=%d: %+v", w, perf.Sweep)
+		}
+	}
+	if one := perf.At(1); one == nil || one.Speedup != 1 {
+		t.Fatalf("workers=1 row must anchor speedup at exactly 1, got %+v", one)
+	}
+	if perf.At(3) != nil {
+		t.Fatal("At(3) found a row that was never measured")
+	}
+
+	js, err := perf.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back IntraPerf
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if len(back.Sweep) != len(perf.Sweep) || back.Points != perf.Points {
+		t.Fatalf("round-trip changed the snapshot: %+v vs %+v", back, perf)
+	}
+	if perf.Render() == "" {
+		t.Fatal("empty report section")
+	}
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -19,9 +20,13 @@ import (
 type ExecPerf struct {
 	Workload string `json:"workload"`
 	Procs    int    `json:"procs"`
-	Tiles    int64  `json:"tiles"`
-	Points   int64  `json:"points"`
-	Rounds   int    `json:"rounds"`
+	// Cores is runtime.GOMAXPROCS(0) on the measuring host — snapshots
+	// from hosts with different parallel budgets are not comparable, so
+	// the budget travels with the numbers.
+	Cores  int   `json:"cores"`
+	Tiles  int64 `json:"tiles"`
+	Points int64 `json:"points"`
+	Rounds int   `json:"rounds"`
 
 	// Best-of-rounds wall time of one full parallel run, in seconds.
 	LegacySeconds  float64 `json:"legacy_seconds"`
@@ -84,6 +89,7 @@ func RunExecPerf(m, n int64, rounds int) (*ExecPerf, error) {
 	perf := &ExecPerf{
 		Workload: fmt.Sprintf("SOR M=%d N=%d, %s x=2 y=4 z=4", m, n, app.NonRect[0].Name),
 		Procs:    p.Dist.NumProcs(),
+		Cores:    runtime.GOMAXPROCS(0),
 		Tiles:    ts.NumTiles(),
 		Points:   ts.TotalPoints(),
 		Rounds:   rounds,

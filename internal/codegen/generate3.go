@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"tilespace/internal/distrib"
 	"tilespace/internal/rat"
 )
 
@@ -55,7 +56,7 @@ func (g *Generator) kernelFns(w *writer) {
 	w.blank()
 	w.line("/* inject_boundary: place Initial values for reads that leave the space. */")
 	w.open("static void inject_boundary(const long jS[NDIM], long t, double *LA)")
-	g.emitZLoops(w, "jS", "", func() {
+	g.emitZLoops(w, "jS", "", nil, func() {
 		w.line("long j[NDIM];")
 		w.line("for (int k = 0; k < NDIM; k++) {")
 		w.indent++
@@ -79,7 +80,7 @@ func (g *Generator) kernelFns(w *writer) {
 	w.blank()
 	w.line("/* compute_tile: sweep the (boundary-clamped) TTIS lattice. */")
 	w.open("static void compute_tile(const long jS[NDIM], long t, double *LA)")
-	g.emitZLoops(w, "jS", "", func() {
+	g.emitZLoops(w, "jS", "", g.ompPragmas(), func() {
 		w.line("long j[NDIM];")
 		w.line("for (int k = 0; k < NDIM; k++) {")
 		w.indent++
@@ -103,6 +104,37 @@ func (g *Generator) kernelFns(w *writer) {
 	w.close()
 }
 
+// ompPragmas derives the compute sweep's OpenMP annotation from the
+// dependence cone. Dimensions up to max(SeqDims) carry every dependence
+// (each transformed dependence has a positive component there, and the
+// sweep walks them in order), so the first dimension after them — and
+// everything inside it — iterates over mutually independent points once
+// the outer coordinates are fixed: `parallel for` goes on that dimension,
+// with zv/jp firstprivate so each thread owns the coordinate scratch the
+// outer loops seeded, and the innermost loop gets `simd` when it lies
+// deeper still. Returns nil when OpenMP is off or every dimension is
+// sequential.
+func (g *Generator) ompPragmas() []string {
+	if !g.opts.OpenMP {
+		return nil
+	}
+	par := 0
+	for _, k := range distrib.SeqDims(g.ts.DP) {
+		if k+1 > par {
+			par = k + 1
+		}
+	}
+	if par >= g.n {
+		return nil
+	}
+	pr := make([]string, g.n)
+	pr[par] = "#pragma omp parallel for schedule(static) firstprivate(zv, jp)"
+	if g.n-1 > par {
+		pr[g.n-1] = "#pragma omp simd"
+	}
+	return pr
+}
+
 // commFns emits region counting, RECEIVE and SEND exactly as §3.2.
 func (g *Generator) commFns(w *writer) {
 	w.blank()
@@ -112,7 +144,7 @@ func (g *Generator) commFns(w *writer) {
 	w.line("dm_full(di, dmf);")
 	w.line("long count = 0;")
 	w.openBlock()
-	g.emitZLoops(w, "s", "dmf", func() {
+	g.emitZLoops(w, "s", "dmf", nil, func() {
 		w.line("count++;")
 	})
 	w.close()
@@ -141,7 +173,7 @@ func (g *Generator) commFns(w *writer) {
 	w.line("long tau = pred[MAPDIM] - chain_start;")
 	w.line("long idx = 0;")
 	w.openBlock()
-	g.emitZLoops(w, "pred", "dmf", func() {
+	g.emitZLoops(w, "pred", "dmf", nil, func() {
 		w.line("double *cell = &LA[map_unpack(jp, dmf, tau) * WIDTH];")
 		w.line("for (int x = 0; x < WIDTH; x++) cell[x] = buf[idx++];")
 	})
@@ -163,7 +195,7 @@ func (g *Generator) commFns(w *writer) {
 	w.line("for (int k = 0; k < NDIM; k++) dstpid[k] = jS[k] + dmf[k];")
 	w.line("long idx = 0;")
 	w.openBlock()
-	g.emitZLoops(w, "jS", "dmf", func() {
+	g.emitZLoops(w, "jS", "dmf", nil, func() {
 		w.line("double *cell = &LA[map_cell(jp, t) * WIDTH];")
 		w.line("for (int x = 0; x < WIDTH; x++) buf[idx++] = cell[x];")
 	})
@@ -220,7 +252,7 @@ func (g *Generator) mainFn(w *writer) {
 	w.line("jS[MAPDIM] = tS;")
 	w.line("long t = tS - lo;")
 	w.openBlock()
-	g.emitZLoops(w, "jS", "", func() {
+	g.emitZLoops(w, "jS", "", nil, func() {
 		w.line("double *cell = &LA[map_cell(jp, t) * WIDTH];")
 		w.line("for (int x = 0; x < WIDTH; x++) local += cell[x];")
 	})

@@ -1,0 +1,168 @@
+package codegen
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tilespace/internal/apps"
+	"tilespace/internal/distrib"
+	"tilespace/internal/tiling"
+)
+
+const (
+	ompParallelPragma = "#pragma omp parallel for schedule(static) firstprivate(zv, jp)"
+	ompSimdPragma     = "#pragma omp simd"
+)
+
+// jacobiOmpGen builds the OpenMP golden fixture's generator: rectangular
+// Jacobi, whose skewed dependence cone leaves only the time dimension
+// sequential (SeqDims = {0}) — `parallel for` lands on dimension 1, simd
+// on the innermost.
+func jacobiOmpGen(t *testing.T) *Generator {
+	t.Helper()
+	app, err := apps.Jacobi(6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := tiling.Analyze(app.Nest, app.Rect.H(2, 3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := distrib.New(ts, app.MapDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(d, Options{
+		Name:       "jacobi_omp",
+		Width:      1,
+		KernelStmt: "out[0] = 0.2*(R0[0]+R1[0]+R2[0]+R3[0]+R4[0]);",
+		OpenMP:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestOpenMPPragmaPlacement: the annotation must appear exactly once,
+// inside compute_tile only, on the dimension the cone derivation picks —
+// and must vanish entirely when every dimension is sequential or the
+// option is off.
+func TestOpenMPPragmaPlacement(t *testing.T) {
+	src := jacobiOmpGen(t).Generate()
+	braceBalance(t, src)
+	if n := strings.Count(src, ompParallelPragma); n != 1 {
+		t.Fatalf("parallel pragma appears %d times, want 1", n)
+	}
+	if n := strings.Count(src, ompSimdPragma); n != 1 {
+		t.Fatalf("simd pragma appears %d times, want 1", n)
+	}
+	// Both pragmas live inside compute_tile: after its opening and before
+	// the next emitted function (commFns' region_count).
+	ct := strings.Index(src, "static void compute_tile")
+	next := strings.Index(src, "static long region_count")
+	pp := strings.Index(src, ompParallelPragma)
+	sp := strings.Index(src, ompSimdPragma)
+	if ct < 0 || next < 0 || pp < ct || pp > next || sp < pp || sp > next {
+		t.Fatalf("pragmas escaped compute_tile (compute at %d, next fn at %d, pragmas at %d/%d)", ct, next, pp, sp)
+	}
+	// Jacobi's sequential set is {0}: parallel for precedes the z1 loop,
+	// simd the z2 loop.
+	after := src[pp:]
+	if line := nextCodeLine(after, ompParallelPragma); !strings.HasPrefix(line, "for (long z1") {
+		t.Errorf("parallel pragma precedes %q, want the z1 loop", line)
+	}
+	if line := nextCodeLine(src[sp:], ompSimdPragma); !strings.HasPrefix(line, "for (long z2") {
+		t.Errorf("simd pragma precedes %q, want the z2 loop", line)
+	}
+
+	// SOR's cone needs all three dimensions (SeqDims = {0,1,2}): nothing
+	// to parallelize, so OpenMP mode emits no pragma at all.
+	sorApp, err := apps.SOR(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := tiling.Analyze(sorApp.Nest, sorApp.NonRect[0].H(2, 8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := distrib.New(ts, sorApp.MapDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(d, Options{Name: "sor", KernelStmt: "out[0] = R0[0];", OpenMP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src := g.Generate(); strings.Contains(src, "#pragma omp") {
+		t.Error("fully-sequential cone still emitted an omp pragma")
+	}
+
+	// Off by default.
+	if src := sorGen(t).Generate(); strings.Contains(src, "#pragma omp") {
+		t.Error("OpenMP pragma emitted with the option off")
+	}
+}
+
+// nextCodeLine returns the first non-empty line after the given marker.
+func nextCodeLine(srcFromMarker, marker string) string {
+	rest := srcFromMarker[len(marker):]
+	for _, line := range strings.Split(rest, "\n") {
+		if s := strings.TrimSpace(line); s != "" {
+			return s
+		}
+	}
+	return ""
+}
+
+// TestOpenMPGolden pins the full OpenMP-annotated program against the
+// committed fixture, so any drift in the emitter — pragma text, placement,
+// loop bounds — shows up as a reviewable diff. Regenerate with
+// UPDATE_GOLDEN=1.
+func TestOpenMPGolden(t *testing.T) {
+	src := jacobiOmpGen(t).Generate()
+	golden := filepath.Join("testdata", "jacobi_openmp.c.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create it)", err)
+	}
+	if src != string(want) {
+		t.Errorf("generated source drifted from %s — inspect the diff and rerun with UPDATE_GOLDEN=1 if intended", golden)
+	}
+}
+
+// TestOpenMPCCompiles syntax-checks the annotated program with a real
+// `cc -fopenmp` when the toolchain supports it, and skips otherwise (the
+// pragma-free output is covered by TestParallelCCompiles regardless).
+func TestOpenMPCCompiles(t *testing.T) {
+	cc := requireCC(t)
+	dir := t.TempDir()
+	probe := filepath.Join(dir, "probe.c")
+	if err := os.WriteFile(probe, []byte("int main(void){int s=0;\n#pragma omp parallel for\nfor(int i=0;i<4;i++) s+=i;\nreturn s>=0?0:1;}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(cc, "-fopenmp", "-fsyntax-only", probe).CombinedOutput(); err != nil {
+		t.Skipf("%s does not support -fopenmp: %v\n%s", cc, err, out)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "mpi.h"), []byte(mockMPIHeader), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "jacobi_omp.c")
+	if err := os.WriteFile(path, []byte(jacobiOmpGen(t).Generate()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(cc, "-std=c99", "-Wall", "-Werror", "-fopenmp", "-fsyntax-only",
+		fmt.Sprintf("-I%s", dir), path)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("annotated program does not compile under -fopenmp: %v\n%s", err, out)
+	}
+}

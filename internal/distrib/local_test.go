@@ -1,0 +1,181 @@
+package distrib
+
+import (
+	"testing"
+
+	"tilespace/internal/ilin"
+)
+
+// TestSeqDimsHandCases pins the greedy cover on hand matrices.
+func TestSeqDimsHandCases(t *testing.T) {
+	cases := []struct {
+		name string
+		rows [][]int64
+		want []int
+	}{
+		// Every column positive in dim 0 (Jacobi-after-skew shape): only
+		// the time dimension is sequential.
+		{"first-row-covers", [][]int64{{1, 1, 1}, {0, 2, 1}, {1, 0, 3}}, []int{0}},
+		// Dim 0 misses column 2; dim 1 picks it up.
+		{"two-dims", [][]int64{{1, 1, 0}, {0, 1, 2}, {3, 0, 1}}, []int{0, 1}},
+		// Dim 0 carries nothing: skipped entirely.
+		{"skip-empty-dim", [][]int64{{0, 0}, {2, 1}}, []int{1}},
+		// Diagonal: every dimension carries its own dependence.
+		{"diagonal", [][]int64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}, []int{0, 1, 2}},
+	}
+	for _, c := range cases {
+		got := SeqDims(ilin.MatFromRows(c.rows...))
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: SeqDims = %v, want %v", c.name, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("%s: SeqDims = %v, want %v", c.name, got, c.want)
+			}
+		}
+	}
+	if got := SeqDims(ilin.NewMat(3, 0)); len(got) != 0 {
+		t.Fatalf("empty dependence matrix: SeqDims = %v, want empty", got)
+	}
+}
+
+// TestSeqDimsCoverProperty: on a real cone-derived DP, every dependence
+// column must have a nonzero component in some chosen dimension, and each
+// chosen dimension must cover a column no earlier choice did (greedy
+// non-redundancy).
+func TestSeqDimsCoverProperty(t *testing.T) {
+	dp := jacobiDist(t).TS.DP
+	seq := SeqDims(dp)
+	if len(seq) == 0 {
+		t.Fatal("nonempty DP produced an empty sequential set")
+	}
+	covered := make([]bool, dp.Cols)
+	for _, k := range seq {
+		fresh := false
+		for l := 0; l < dp.Cols; l++ {
+			if dp.At(k, l) != 0 && !covered[l] {
+				fresh = true
+				covered[l] = true
+			}
+		}
+		if !fresh {
+			t.Fatalf("dimension %d covers no new column — not a greedy cover", k)
+		}
+	}
+	for l, c := range covered {
+		if !c {
+			t.Fatalf("dependence column %d uncovered by %v", l, seq)
+		}
+	}
+}
+
+// TestNewLocalScheduleSafety: on real clamped shapes (interior and
+// boundary), the schedule must partition the point set, keep σ strictly
+// ascending across fronts and constant within a front, and — the safety
+// theorem — place the source of every intra-tile dependence in a strictly
+// earlier front than its sink.
+func TestNewLocalScheduleSafety(t *testing.T) {
+	d := jacobiDist(t)
+	ts := d.TS
+	n := ts.T.N
+	seq := SeqDims(ts.DP)
+	for r := 0; r < d.NumProcs(); r += d.NumProcs() - 1 {
+		for ti := int64(0); ti < min64(2, d.ChainLen[r]); ti++ {
+			tile := d.TileAt(r, ti)
+			var zs []int64
+			var jps [][]int64
+			ts.ScanTilePoints(tile, func(z, jp ilin.Vec) bool {
+				zs = append(zs, z...)
+				jps = append(jps, append([]int64(nil), jp...))
+				return true
+			})
+			npts := len(zs) / n
+			ls := NewLocalSchedule(ts, zs, seq)
+			if len(ls.Sigma) != npts {
+				t.Fatalf("Sigma has %d entries, shape has %d points", len(ls.Sigma), npts)
+			}
+			frontOf := make([]int, npts)
+			for i := range frontOf {
+				frontOf[i] = -1
+			}
+			prev := int64(0)
+			for fi, front := range ls.Fronts {
+				if len(front) == 0 {
+					t.Fatalf("front %d is empty", fi)
+				}
+				sig := ls.Sigma[front[0]]
+				if fi > 0 && sig <= prev {
+					t.Fatalf("front %d: σ=%d not above previous front's %d", fi, sig, prev)
+				}
+				prev = sig
+				for _, idx := range front {
+					if ls.Sigma[idx] != sig {
+						t.Fatalf("front %d mixes σ=%d and σ=%d", fi, sig, ls.Sigma[idx])
+					}
+					if frontOf[idx] != -1 {
+						t.Fatalf("point %d scheduled twice", idx)
+					}
+					frontOf[idx] = fi
+				}
+			}
+			for i, f := range frontOf {
+				if f == -1 {
+					t.Fatalf("point %d never scheduled", i)
+				}
+			}
+			// Safety: every intra-tile dependence crosses fronts forward.
+			at := map[[3]int64]int{}
+			for i, jp := range jps {
+				at[[3]int64{jp[0], jp[1], jp[2]}] = i
+			}
+			for i, jp := range jps {
+				for l := 0; l < ts.DP.Cols; l++ {
+					src := [3]int64{
+						jp[0] - ts.DP.At(0, l),
+						jp[1] - ts.DP.At(1, l),
+						jp[2] - ts.DP.At(2, l),
+					}
+					if s, ok := at[src]; ok && frontOf[s] >= frontOf[i] {
+						t.Fatalf("dependence %d: source %v (front %d) not before sink %v (front %d)",
+							l, src, frontOf[s], jp, frontOf[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFootprintRuns pins the run extraction on hand-built footprints.
+func TestFootprintRuns(t *testing.T) {
+	// Three points fully contiguous, then a write gap, then two more.
+	writeOff := []int64{10, 11, 12, 20, 21}
+	readOff := []int64{ // q = 2, interleaved per point
+		5, 100, 6, 101, 7, 102,
+		40, 200, 41, 201,
+	}
+	order := []int32{0, 1, 2, 3, 4}
+	runs := FootprintRuns(order, writeOff, readOff, 2)
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2: %+v", len(runs), runs)
+	}
+	if runs[0].Start != 0 || runs[0].N != 3 || runs[0].WO != 10 ||
+		runs[0].RO[0] != 5 || runs[0].RO[1] != 100 {
+		t.Fatalf("run 0 = %+v", runs[0])
+	}
+	if runs[1].Start != 3 || runs[1].N != 2 || runs[1].WO != 20 {
+		t.Fatalf("run 1 = %+v", runs[1])
+	}
+
+	// Contiguous writes but one read stream jumps: the run must split even
+	// though the write footprint alone would not.
+	writeOff = []int64{0, 1, 2}
+	readOff = []int64{50, 51, 99} // q = 1; point 2's read breaks stride
+	runs = FootprintRuns([]int32{0, 1, 2}, writeOff, readOff, 1)
+	if len(runs) != 2 || runs[0].N != 2 || runs[1].N != 1 || runs[1].WO != 2 {
+		t.Fatalf("read-break runs = %+v", runs)
+	}
+
+	if runs := FootprintRuns(nil, nil, nil, 0); len(runs) != 0 {
+		t.Fatalf("empty order produced %d runs", len(runs))
+	}
+}

@@ -1,0 +1,162 @@
+package exec
+
+import (
+	"testing"
+
+	"tilespace/internal/ilin"
+)
+
+// seedLDS fills both states' LDS arrays with the same distinct values so
+// the parallel-vs-serial comparison exercises real addressing: every read
+// resolves a different value, and any misrouted write or read shows up as
+// a bit difference.
+func seedLDS(states ...*rankState) {
+	for _, st := range states {
+		for i := range st.la {
+			st.la[i] = float64(i%101)*0.5 - 12.25
+		}
+	}
+}
+
+// TestComputePhaseParallelMatchesSerial: the pooled wavefront sweep must
+// produce a bit-identical LDS to the serial compiled sweep over whole
+// chains — interior and boundary shapes, several pool sizes, including
+// pools larger than any wavefront (everything inline) and odd sizes that
+// split runs unevenly.
+func TestComputePhaseParallelMatchesSerial(t *testing.T) {
+	p := planProgram(t)
+	for _, workers := range []int{2, 3, 8} {
+		for r := 0; r < p.Dist.NumProcs(); r++ {
+			stS := newRankState(p, nil, r, RunOptions{})
+			stP := newRankState(p, nil, r, RunOptions{Workers: workers})
+			if stP.workers != workers {
+				t.Fatalf("effective workers = %d, want %d", stP.workers, workers)
+			}
+			stP.wpool = newWorkerPool(stP, workers)
+			seedLDS(stS, stP)
+			for ti := int64(0); ti < p.Dist.ChainLen[r]; ti++ {
+				tile := p.Dist.TileAt(r, ti)
+				plS := stS.planFor(tile)
+				mulVecInto(stS.pBase, p.TS.T.P, tile)
+				stS.computePhasePlanned(plS, ti)
+				plP := stP.planFor(tile)
+				mulVecInto(stP.pBase, p.TS.T.P, tile)
+				stP.computePhaseParallel(plP, ti)
+			}
+			for i, v := range stS.la {
+				if stP.la[i] != v {
+					t.Fatalf("workers=%d rank %d: LDS cell %d differs: serial %v, parallel %v",
+						workers, r, i, v, stP.la[i])
+				}
+			}
+			stP.wpool.close()
+		}
+	}
+}
+
+// TestLocalPlanInvariants: the compiled local plan must fire every point
+// of the shape exactly once, decompose each front into runs covering its
+// points exactly, keep every run's claimed write offset consistent with
+// the tile plan, and partition each front's runs across the workers.
+func TestLocalPlanInvariants(t *testing.T) {
+	p := planProgram(t)
+	const workers = 3
+	for r := 0; r < p.Dist.NumProcs(); r++ {
+		st := newRankState(p, nil, r, RunOptions{Workers: workers})
+		for ti := int64(0); ti < p.Dist.ChainLen[r]; ti++ {
+			pl := st.planFor(p.Dist.TileAt(r, ti))
+			lp := st.localFor(pl)
+			if lp.workers != workers {
+				t.Fatalf("local plan compiled for %d workers, want %d", lp.workers, workers)
+			}
+			if len(lp.order) != pl.npts {
+				t.Fatalf("order has %d entries, shape has %d points", len(lp.order), pl.npts)
+			}
+			seen := make([]bool, pl.npts)
+			for _, idx := range lp.order {
+				if seen[idx] {
+					t.Fatalf("point %d fires twice", idx)
+				}
+				seen[idx] = true
+			}
+			for fi := range lp.fronts {
+				f := &lp.fronts[fi]
+				var runPts int32
+				for ri, run := range f.runs {
+					if run.start < f.lo || run.start+run.n > f.hi {
+						t.Fatalf("front %d run %d [%d,%d) escapes front [%d,%d)",
+							fi, ri, run.start, run.start+run.n, f.lo, f.hi)
+					}
+					for i := int32(0); i < run.n; i++ {
+						if got := pl.writeOff[lp.order[run.start+i]]; got != run.wo+int64(i) {
+							t.Fatalf("front %d run %d point %d: write offset %d, run claims %d",
+								fi, ri, i, got, run.wo+int64(i))
+						}
+					}
+					runPts += run.n
+				}
+				if int(runPts) != f.npts || int(f.hi-f.lo) != f.npts {
+					t.Fatalf("front %d: %d points, runs cover %d, order range %d",
+						fi, f.npts, runPts, f.hi-f.lo)
+				}
+				if len(f.segs) != workers {
+					t.Fatalf("front %d has %d worker segments, want %d", fi, len(f.segs), workers)
+				}
+				if f.segs[0][0] != 0 || int(f.segs[workers-1][1]) != len(f.runs) {
+					t.Fatalf("front %d segments do not span the run list", fi)
+				}
+				for w := 1; w < workers; w++ {
+					if f.segs[w][0] != f.segs[w-1][1] {
+						t.Fatalf("front %d: segment %d starts at %d, previous ends at %d",
+							fi, w, f.segs[w][0], f.segs[w-1][1])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestComputePhaseParallelZeroAlloc: the pooled steady state — pool warm,
+// local plan cached — must not allocate, matching the serial sweep's bar.
+func TestComputePhaseParallelZeroAlloc(t *testing.T) {
+	p := planProgram(t)
+	st := newRankState(p, nil, 0, RunOptions{Workers: 3})
+	st.wpool = newWorkerPool(st, 3)
+	defer st.wpool.close()
+	tile := p.Dist.TileAt(0, 0)
+	pl := st.planFor(tile)
+	mulVecInto(st.pBase, p.TS.T.P, tile)
+	st.computePhaseParallel(pl, 0) // compile local plan, warm the pool
+	if allocs := testing.AllocsPerRun(20, func() {
+		st.computePhaseParallel(pl, 0)
+	}); allocs != 0 {
+		t.Fatalf("pooled compute sweep allocates %.1f times per tile, want 0", allocs)
+	}
+}
+
+// TestWorkerPanicPropagates: a kernel panic inside a worker must abort
+// the rank like the serial path would, with the pool still closeable and
+// no deadlocked barrier.
+func TestWorkerPanicPropagates(t *testing.T) {
+	p := planProgram(t)
+	st := newRankState(p, nil, 0, RunOptions{Workers: 3})
+	st.wpool = newWorkerPool(st, 3)
+	defer st.wpool.close()
+	tile := p.Dist.TileAt(0, 0)
+	pl := st.planFor(tile)
+	mulVecInto(st.pBase, p.TS.T.P, tile)
+
+	kernel := p.Kernel
+	defer func() { p.Kernel = kernel }()
+	p.Kernel = func(j ilin.Vec, reads [][]float64, out []float64) { panic("kernel boom") }
+
+	defer func() {
+		if r := recover(); r != "kernel boom" {
+			t.Fatalf("recovered %v, want the worker's panic value", r)
+		}
+		// The pool must still dispatch after a captured panic.
+		p.Kernel = kernel
+		st.computePhaseParallel(pl, 0)
+	}()
+	st.computePhaseParallel(pl, 0)
+}

@@ -67,6 +67,14 @@ type RunOptions struct {
 	// rank restarts from its last snapshot with unacknowledged sends
 	// replayed. Nil disables checkpointing (no per-tile overhead).
 	Checkpoint *CheckpointOptions
+	// Workers sets the per-rank intra-tile worker pool size: each tile's
+	// wavefronts of independent points (see distrib.NewLocalSchedule)
+	// execute on Workers goroutines walking precompiled stride-1 runs,
+	// with the dependence-carrying dimensions still walked in order.
+	// 0 picks a GOMAXPROCS-aware default (GOMAXPROCS / ranks, at least
+	// 1); 1 is the serial sweep. Results are bit-identical to the serial
+	// path for every value — the setting only trades wall-clock.
+	Workers int
 	// World, when non-nil, supplies a pooled runtime world instead of
 	// constructing a fresh one per run — the reuse seam the serve layer's
 	// world pool relies on. It must have exactly Dist.NumProcs() ranks and
@@ -188,6 +196,13 @@ type rankState struct {
 	initBuf   []float64   // reused Initial value buffer
 	reads     [][]float64 // reused kernel read views
 	predBuf   ilin.Vec    // reused predecessor tile coordinate
+	roBuf     []int64     // reused read-offset cursors (inline local runs)
+
+	// Intra-tile parallelism (workers > 1 only): the sequential dimension
+	// set of the dependence cone and the rank's worker pool.
+	workers int
+	seqDims []int
+	wpool   *workerPool
 
 	pool bufPool // recycled message buffers
 
@@ -261,11 +276,16 @@ func newRankState(p *Program, c *mpi.Comm, r int, opt RunOptions) *rankState {
 	st.srcBuf = make(ilin.Vec, n)
 	st.pBase = make(ilin.Vec, n)
 	st.predBuf = make(ilin.Vec, n)
+	st.roBuf = make([]int64, q)
 	st.buildCommTables()
 	if !st.legacy {
 		st.plans = newPlanCache()
 		st.tilePlans = make([]*tilePlan, d.ChainLen[r])
 		st.chainStep = st.addr.ChainStep()
+		st.workers = effectiveWorkers(opt.Workers, d.NumProcs())
+		if st.workers > 1 {
+			st.seqDims = distrib.SeqDims(p.TS.DP)
+		}
 	}
 	return st
 }
@@ -274,6 +294,12 @@ func (p *Program) runRank(c *mpi.Comm, g *Global, opt RunOptions) error {
 	r := c.Rank()
 	d := p.Dist
 	st := newRankState(p, c, r, opt)
+	if st.workers > 1 {
+		st.wpool = newWorkerPool(st, st.workers)
+		// Deferred so every exit path — normal completion, error return,
+		// abort panic — winds the pool down without leaking goroutines.
+		defer st.wpool.close()
+	}
 	crashAt := st.faults.CrashTile(r)
 
 	for t := int64(0); t < d.ChainLen[r]; t++ {
@@ -314,7 +340,11 @@ func (p *Program) runRank(c *mpi.Comm, g *Global, opt RunOptions) error {
 			if st.tr != nil {
 				st.tr.noteRecvDone()
 			}
-			st.computePhasePlanned(pl, t)
+			if st.wpool != nil {
+				st.computePhaseParallel(pl, t)
+			} else {
+				st.computePhasePlanned(pl, t)
+			}
 			if st.tr != nil {
 				st.tr.noteCompDone()
 			}
@@ -338,7 +368,7 @@ func (p *Program) runRank(c *mpi.Comm, g *Global, opt RunOptions) error {
 	// chain done (receivers need the data, and Stats must be final).
 	mpi.Waitall(st.pending)
 	if st.tr != nil {
-		st.tr.finish(&st.pool)
+		st.tr.finish(&st.pool, st.wpool)
 	}
 	st.writeBack(g)
 	return nil

@@ -51,6 +51,10 @@ type tilePlan struct {
 	// per tile instead of per point.
 	maxWrite int64
 	maxRead  int64
+	// local is the shape's compiled intra-tile parallel schedule
+	// (wavefronts → stride-1 runs → worker segments), compiled lazily on
+	// first parallel execution; nil until then and in serial runs.
+	local *localPlan
 }
 
 // dirPlan is one processor direction's compiled communication region.

@@ -58,6 +58,14 @@ type RankMetrics struct {
 	// they live here and not in the deterministic mpi.Stats.
 	Crashes int
 	Resent  int
+
+	// Intra-tile pool attribution: Workers is the rank's pool size (1 =
+	// serial compute), WorkerBusy[w] the wall time worker w spent inside
+	// wavefront segments. The gap between max and min WorkerBusy is the
+	// pool's load imbalance; Compute minus max(WorkerBusy) is the
+	// dispatch/barrier overhead plus the inline small-front share.
+	Workers    int
+	WorkerBusy []time.Duration
 }
 
 // Tracer collects per-rank measured timelines from one RunParallelOpts
@@ -290,8 +298,9 @@ func (rt *rankTracer) endTile(tile ilin.Vec) {
 }
 
 // finish closes the rank's timeline after the end-of-chain Waitall and
-// publishes events and metrics to the shared tracer.
-func (rt *rankTracer) finish(pool *bufPool) {
+// publishes events and metrics to the shared tracer. wp is the rank's
+// intra-tile worker pool (nil in serial runs).
+func (rt *rankTracer) finish(pool *bufPool, wp *workerPool) {
 	now := time.Now()
 	if !rt.lastEnd.IsZero() {
 		rt.m.Drain = now.Sub(rt.lastEnd)
@@ -301,6 +310,11 @@ func (rt *rankTracer) finish(pool *bufPool) {
 	}
 	rt.m.PoolHits = pool.hits
 	rt.m.PoolMisses = pool.misses
+	rt.m.Workers = 1
+	if wp != nil {
+		rt.m.Workers = wp.n
+		rt.m.WorkerBusy = append([]time.Duration(nil), wp.busy...)
+	}
 	if rt.rank < len(rt.tr.ranks) {
 		rt.tr.ranks[rt.rank] = rt.m
 	}

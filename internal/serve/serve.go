@@ -43,9 +43,10 @@ type Config struct {
 	// MaxQueue bounds runs waiting for a slot; beyond it requests are
 	// rejected with 429 + Retry-After.
 	MaxQueue int
-	// MaxRanks is the per-request rank budget: a spec whose distribution
-	// needs more processors than this is rejected with 413 before it can
-	// monopolize the machine.
+	// MaxRanks is the per-request concurrency budget, charged in
+	// goroutine-equivalents: a request costs ranks × workers (the
+	// intra-tile pool size, default 1), and anything over budget is
+	// rejected with 413 before it can monopolize the machine.
 	MaxRanks int
 	// RetryAfter is the hint returned with 429 responses.
 	RetryAfter time.Duration
@@ -369,6 +370,11 @@ type runRequest struct {
 	// Overlap selects non-blocking Isends (computation–communication
 	// overlap); results are bit-identical either way.
 	Overlap bool `json:"overlap"`
+	// Workers sets the per-rank intra-tile worker pool size (default and
+	// minimum 1 — the service never applies the GOMAXPROCS heuristic, so
+	// the admission budget ranks × workers is exact). Results are
+	// bit-identical for every value.
+	Workers int `json:"workers,omitempty"`
 	// Verify runs the static certifier before any rank starts.
 	Verify bool `json:"verify"`
 	// Faults injects a deterministic fault schedule.
@@ -418,10 +424,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, "%v", err)
 	}
-	if art.Procs > s.cfg.MaxRanks {
+	workers := req.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	// The budget is charged in goroutine-equivalents: every rank runs
+	// `workers` intra-tile workers, so a spec's effective cost is
+	// ranks × workers — a small mesh with a deep pool can be as heavy as a
+	// big mesh.
+	if art.Procs*workers > s.cfg.MaxRanks {
 		s.budgetRejected.Add(1)
 		return writeError(w, http.StatusRequestEntityTooLarge,
-			"spec needs %d ranks, budget is %d", art.Procs, s.cfg.MaxRanks)
+			"spec needs %d ranks × %d workers = %d, budget is %d",
+			art.Procs, workers, art.Procs*workers, s.cfg.MaxRanks)
 	}
 	release, err := s.adm.acquire(r.Context())
 	if err != nil {
@@ -447,6 +462,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
 
 	opt := exec.RunOptions{
 		Overlap: req.Overlap,
+		Workers: workers,
 		Verify:  req.Verify,
 		Net:     mpi.Options{Watchdog: s.cfg.Watchdog},
 		Faults:  faults,

@@ -3,7 +3,7 @@
 // mpi.World, no kernel execution — that a compiled tiled program is
 // correct before a single rank runs.
 //
-// Certify establishes three theorems per spec × tiling × rank-grid:
+// Certify establishes four theorems per spec × tiling × rank-grid:
 //
 //  1. Comm-set exactness. The union of pack runs (distrib.CommRuns) of
 //     every (tile, processor-direction) message equals the dependence
@@ -29,6 +29,14 @@
 //     the allocated LDS box, for the interior shape and every boundary
 //     shape, at every chain slot where the shape occurs.
 //
+//  4. Intra-tile linear extension. The wavefront schedule the executor's
+//     worker pool fires (distrib.NewLocalSchedule) covers every point of
+//     every clamped tile shape exactly once, and every intra-tile
+//     dependence flows from a strictly earlier front — so any execution
+//     order within a front, including concurrent workers, is a linear
+//     extension of the dependence order and bit-identical to the serial
+//     sweep (see local.go).
+//
 // A failed proof is reported as a *Violation carrying the offending rank,
 // tile and a concrete counterexample point, so the diagnostic names the
 // exact iteration (or LDS cell) that would have been computed wrongly.
@@ -48,7 +56,8 @@ import (
 
 // Violation is one disproved certification claim. Rule names the theorem
 // ("comm-soundness", "comm-redundancy", "fifo-order", "deadlock",
-// "schedule-edge", "lds-bounds", "address-program", "coverage"), and
+// "schedule-edge", "lds-bounds", "address-program", "coverage",
+// "local-coverage", "local-order"), and
 // Point is the concrete counterexample — a global iteration point, or the
 // predecessor tile / LDS cell named in Detail when no single iteration
 // identifies the failure.
@@ -110,6 +119,9 @@ func Certify(ts *tiling.TiledSpace, d *distrib.Distribution) (*Report, error) {
 	}
 	rep.Messages = int64(len(edges))
 	if err := checkPlans(ts, d, rep); err != nil {
+		return nil, err
+	}
+	if err := checkLocalSchedules(ts, d, rep); err != nil {
 		return nil, err
 	}
 	if err := replay(ts, d, rep); err != nil {
