@@ -16,6 +16,7 @@
 //	clusterbench -overlap         # also run the overlap ablation (simulator)
 //	clusterbench -execablation    # run blocking vs overlapped in the real runtime
 //	clusterbench -intrabench BENCH_intra.json  # sweep the intra-tile worker pool
+//	clusterbench -wirebench BENCH_wire.json    # ping-pong the wire transports, fit α+β
 //	clusterbench -trace out.json  # trace the real runtime, export Chrome JSON
 //	clusterbench -gantt           # text Gantt of the measured SOR timeline
 //	clusterbench -faults          # fault-injection degradation, measured vs predicted
@@ -56,6 +57,7 @@ func main() {
 		faults   = flag.Bool("faults", false, "run the fault-injection degradation scenarios in the real runtime and compare with simnet's prediction")
 		faultTr  = flag.String("faulttrace", "", "with -faults: write the measured crash-restart timeline as Chrome trace_event JSON to this path")
 		servePth = flag.String("serve", "", "load-test the tiling service (cold compile vs shared plan cache) and write the JSON snapshot to this path (e.g. BENCH_serve.json)")
+		wirePth  = flag.String("wirebench", "", "ping-pong the wire transports (in-process channel, loopback TCP), fit per-message and per-value costs against the simnet model, and write the JSON snapshot to this path (e.g. BENCH_wire.json)")
 		outPath  = flag.String("o", "", "also write the report to this file")
 	)
 	flag.Parse()
@@ -152,6 +154,33 @@ func main() {
 
 	if *servePth != "" {
 		runServeBench(out, *servePth)
+	}
+
+	if *wirePth != "" {
+		runWireBench(out, *wirePth)
+	}
+}
+
+// runWireBench measures the point-to-point (α, β) of every wire
+// transport by loopback ping-pong and writes the committed snapshot.
+// No timing gate: loopback numbers are host-dependent by nature, and
+// the snapshot records them honestly next to the FastEthernet model.
+func runWireBench(out io.Writer, path string) {
+	perf, err := bench.RunWirePerf(400)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: wirebench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprint(out, perf.Render())
+	fmt.Fprintln(out)
+	js, err := perf.JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: wirebench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, js, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: wirebench: %v\n", err)
+		os.Exit(1)
 	}
 }
 

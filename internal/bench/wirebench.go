@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"tilespace/internal/mpi"
+	"tilespace/internal/simnet"
+)
+
+// WirePoint is one payload size of the ping-pong sweep: the measured
+// one-way time per message at that payload.
+type WirePoint struct {
+	Values  int     `json:"values"`
+	Seconds float64 `json:"seconds"`
+}
+
+// WireRow is one transport's sweep plus the fitted linear cost model
+// t(n) = Alpha + Beta*n over the measured points.
+type WireRow struct {
+	Transport string      `json:"transport"`
+	Points    []WirePoint `json:"points"`
+	// Alpha is the fitted per-message cost in seconds, Beta the fitted
+	// per-value cost in seconds/value — the same (α, β) decomposition the
+	// simnet cluster model uses, so the two are directly comparable.
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta"`
+	// Wire carries the TCP mesh counters after the sweep (zero value for
+	// the channel fabric): committed evidence of how many socket writes
+	// the coalescer actually spent per frame.
+	Wire mpi.WireStats `json:"wire"`
+}
+
+// WirePerf is the committed BENCH_wire.json snapshot: per-transport
+// point-to-point cost measured by a 2-rank ping-pong, next to the simnet
+// FastEthernet model the simulator predicts speedups with. The two wire
+// transports run on one host, so their α and β say nothing about a real
+// cluster — the point of the table is (a) the relative overhead of the
+// framed TCP path over the in-process fabric and (b) that both are far
+// below the modelled FastEthernet costs, i.e. measured-mode experiments
+// need the injected cost model, not the host's own wire.
+type WirePerf struct {
+	// Rounds is the number of timed round trips per payload size.
+	Rounds int `json:"rounds"`
+	// ModelAlpha/ModelBeta are the simnet FastEthernet model's
+	// per-message (Latency + SendOverhead) and per-value
+	// (ValueBytes/Bandwidth + PackTime) costs in seconds.
+	ModelAlpha float64 `json:"model_alpha"`
+	ModelBeta  float64 `json:"model_beta"`
+
+	Rows []WireRow `json:"rows"`
+}
+
+// JSON renders the snapshot in the committed BENCH_wire.json format.
+func (p *WirePerf) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Render formats the sweep as a report section.
+func (p *WirePerf) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== wire perf: 2-rank ping-pong, one-way time per message (%d rounds/size) ==\n", p.Rounds)
+	fmt.Fprintf(&b, "%-10s", "transport")
+	if len(p.Rows) > 0 {
+		for _, pt := range p.Rows[0].Points {
+			fmt.Fprintf(&b, " %9s", fmt.Sprintf("n=%d", pt.Values))
+		}
+	}
+	fmt.Fprintf(&b, " %12s %12s\n", "alpha", "beta/value")
+	row := func(name string, pts []WirePoint, alpha, beta float64) {
+		fmt.Fprintf(&b, "%-10s", name)
+		for _, pt := range pts {
+			fmt.Fprintf(&b, " %7.2fus", pt.Seconds*1e6)
+		}
+		fmt.Fprintf(&b, " %10.2fus %10.2fns\n", alpha*1e6, beta*1e9)
+	}
+	for _, r := range p.Rows {
+		row(r.Transport, r.Points, r.Alpha, r.Beta)
+	}
+	var model []WirePoint
+	if len(p.Rows) > 0 {
+		for _, pt := range p.Rows[0].Points {
+			model = append(model, WirePoint{
+				Values:  pt.Values,
+				Seconds: p.ModelAlpha + float64(pt.Values)*p.ModelBeta,
+			})
+		}
+	}
+	row("simnet", model, p.ModelAlpha, p.ModelBeta)
+	for _, r := range p.Rows {
+		if r.Wire.FramesSent > 0 {
+			fmt.Fprintf(&b, "%s coalescing: %d frames in %d socket writes (%.2f frames/write), %d bytes\n",
+				r.Transport, r.Wire.FramesSent, r.Wire.Batches,
+				float64(r.Wire.FramesSent)/float64(max64(r.Wire.Batches, 1)), r.Wire.BytesSent)
+		}
+	}
+	return b.String()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fitAlphaBeta least-squares fits t(n) = alpha + beta*n over the sweep.
+func fitAlphaBeta(pts []WirePoint) (alpha, beta float64) {
+	n := float64(len(pts))
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		x, y := float64(p.Values), p.Seconds
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0
+	}
+	beta = (n*sxy - sx*sy) / den
+	alpha = (sy - beta*sx) / n
+	return alpha, beta
+}
+
+// pingpong bounces a payload of the given size between ranks 0 and 1 for
+// the timed rounds (after one untimed warm-up trip that absorbs link
+// dial and first-touch costs) and returns the one-way seconds/message.
+func pingpong(w *mpi.World, values, rounds int) (float64, error) {
+	const tag = 4242
+	buf := make([]float64, values)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	var oneWay float64
+	err := w.RunE(func(c *mpi.Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, tag, buf)
+			c.Recv(1, tag)
+			start := time.Now()
+			for i := 0; i < rounds; i++ {
+				c.Send(1, tag, buf)
+				c.Recv(1, tag)
+			}
+			oneWay = time.Since(start).Seconds() / float64(2*rounds)
+		case 1:
+			for i := 0; i < rounds+1; i++ {
+				c.Send(0, tag, c.Recv(0, tag))
+			}
+		}
+	})
+	return oneWay, err
+}
+
+// WireSizes are the swept payload sizes in float64 values per message.
+var WireSizes = []int{8, 64, 512, 4096}
+
+// RunWirePerf ping-pongs every payload size over both wire transports —
+// the in-process channel fabric and a loopback TCP mesh — and fits
+// (α, β) per transport. There is deliberately no timing gate: loopback
+// numbers vary wildly across hosts, and the snapshot's job is to record
+// them honestly next to the model, not to pass a bar.
+func RunWirePerf(rounds int) (*WirePerf, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	par := simnet.FastEthernetPIII()
+	perf := &WirePerf{
+		Rounds:     rounds,
+		ModelAlpha: par.Latency + par.SendOverhead,
+		ModelBeta:  float64(par.ValueBytes)/par.Bandwidth + par.PackTime,
+	}
+	for _, transport := range []string{"channel", "tcp"} {
+		var w *mpi.World
+		if transport == "tcp" {
+			tw, err := mpi.NewTCPWorld(2, mpi.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("bench: wire %s: %w", transport, err)
+			}
+			w = tw
+		} else {
+			w = mpi.NewWorld(2)
+		}
+		row := WireRow{Transport: transport}
+		for _, n := range WireSizes {
+			sec, err := pingpong(w, n, rounds)
+			if err != nil {
+				w.Close()
+				return nil, fmt.Errorf("bench: wire %s n=%d: %w", transport, n, err)
+			}
+			row.Points = append(row.Points, WirePoint{Values: n, Seconds: sec})
+		}
+		row.Alpha, row.Beta = fitAlphaBeta(row.Points)
+		if ws, ok := w.WireStats(); ok {
+			row.Wire = ws
+		}
+		w.Close()
+		perf.Rows = append(perf.Rows, row)
+	}
+	return perf, nil
+}

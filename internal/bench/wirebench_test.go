@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// fitAlphaBeta must recover an exactly linear cost model.
+func TestFitAlphaBetaExact(t *testing.T) {
+	const alpha, beta = 3e-5, 7e-7
+	var pts []WirePoint
+	for _, n := range WireSizes {
+		pts = append(pts, WirePoint{Values: n, Seconds: alpha + beta*float64(n)})
+	}
+	a, b := fitAlphaBeta(pts)
+	if math.Abs(a-alpha) > 1e-12 || math.Abs(b-beta) > 1e-15 {
+		t.Fatalf("fit (%g, %g), want (%g, %g)", a, b, alpha, beta)
+	}
+}
+
+func TestRunWirePerf(t *testing.T) {
+	rounds := 60
+	if testing.Short() {
+		rounds = 8
+	}
+	perf, err := RunWirePerf(rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perf.Rows) != 2 || perf.Rows[0].Transport != "channel" || perf.Rows[1].Transport != "tcp" {
+		t.Fatalf("rows %+v, want channel then tcp", perf.Rows)
+	}
+	if perf.ModelAlpha <= 0 || perf.ModelBeta <= 0 {
+		t.Fatalf("model costs (%g, %g) not positive", perf.ModelAlpha, perf.ModelBeta)
+	}
+	for _, r := range perf.Rows {
+		if len(r.Points) != len(WireSizes) {
+			t.Fatalf("%s swept %d sizes, want %d", r.Transport, len(r.Points), len(WireSizes))
+		}
+		for _, pt := range r.Points {
+			if pt.Seconds <= 0 {
+				t.Errorf("%s n=%d measured %g s", r.Transport, pt.Values, pt.Seconds)
+			}
+		}
+	}
+	tcp := perf.Rows[1]
+	// Every payload crossed a real socket: 2 ranks x (rounds+1) round
+	// trips x len(WireSizes), two data frames per round trip.
+	minFrames := int64(2 * (rounds + 1) * len(WireSizes))
+	if tcp.Wire.FramesSent < minFrames {
+		t.Errorf("tcp sweep sent %d frames, want >= %d", tcp.Wire.FramesSent, minFrames)
+	}
+	if tcp.Wire.Batches <= 0 || tcp.Wire.Batches > tcp.Wire.FramesSent {
+		t.Errorf("tcp batches %d outside (0, %d]", tcp.Wire.Batches, tcp.Wire.FramesSent)
+	}
+
+	js, err := perf.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WirePerf
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if back.Rows[1].Wire.FramesSent != tcp.Wire.FramesSent {
+		t.Fatalf("wire counters lost in JSON round trip")
+	}
+	if perf.Render() == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -84,6 +84,21 @@ type RunOptions struct {
 	// world is not torn down on return: the caller owns it and may hand it
 	// to the next run.
 	World *mpi.World
+	// Wire selects the transport family when this run constructs its own
+	// world: mpi.WireChannel (default, in-process) or mpi.WireTCP (a
+	// loopback TCP mesh — every message crosses a real socket with framed,
+	// coalesced sends). Results and Stats are bit-identical across wire
+	// kinds; only WireStats differ. Ignored when World is non-nil, which
+	// brings its own transport. A WireTCP world constructed here is closed
+	// before returning.
+	Wire mpi.WireKind
+	// ProcCheckpoint enables rank-process checkpointing for multi-process
+	// deployments (cmd/tilerankd): a periodic snapshot of the rank's chain
+	// position, LDS and wire stream counts that a relaunched process
+	// restores to resume mid-conversation over the TCP mesh's resume
+	// protocol. Mutually exclusive with Checkpoint (the in-process
+	// tile-chain recovery). See ProcCheckpoint.
+	ProcCheckpoint *ProcCheckpoint
 }
 
 // RunParallel executes the program as the paper's generated data-parallel
@@ -121,12 +136,28 @@ func (p *Program) RunParallelOpts(opt RunOptions) (*Global, mpi.Stats, error) {
 	}
 	g := NewGlobal(lo, hi, p.Width)
 
+	if opt.ProcCheckpoint != nil && opt.Checkpoint != nil {
+		return nil, mpi.Stats{}, fmt.Errorf("exec: ProcCheckpoint and Checkpoint are mutually exclusive")
+	}
 	world := opt.World
 	if world != nil {
 		if world.Size() != p.Dist.NumProcs() {
 			return nil, mpi.Stats{}, fmt.Errorf("exec: pooled world has %d ranks, program needs %d", world.Size(), p.Dist.NumProcs())
 		}
-		world.Reset(opt.Net)
+		// A remote world is per-process and single-use: it was just
+		// constructed — possibly with restored checkpoint stream state a
+		// Reset would destroy — and resetting one process of a live mesh
+		// cannot be coordinated from here.
+		if !world.Remote() {
+			world.Reset(opt.Net)
+		}
+	} else if opt.Wire == mpi.WireTCP {
+		tw, err := mpi.NewTCPWorld(p.Dist.NumProcs(), opt.Net)
+		if err != nil {
+			return nil, mpi.Stats{}, fmt.Errorf("exec: tcp world: %w", err)
+		}
+		defer tw.Close()
+		world = tw
 	} else {
 		world = mpi.NewWorldOpts(p.Dist.NumProcs(), opt.Net)
 	}
@@ -302,7 +333,14 @@ func (p *Program) runRank(c *mpi.Comm, g *Global, opt RunOptions) error {
 	}
 	crashAt := st.faults.CrashTile(r)
 
-	for t := int64(0); t < d.ChainLen[r]; t++ {
+	start := int64(0)
+	if pc := opt.ProcCheckpoint; pc != nil && pc.Resume != nil && pc.Resume.Rank == r {
+		var err error
+		if start, err = st.restoreProcSnapshot(pc.Resume); err != nil {
+			return err
+		}
+	}
+	for t := start; t < d.ChainLen[r]; t++ {
 		// A planned crash fires at the tile boundary, before tile t's
 		// receive — the first incarnation only. With checkpointing the
 		// rank rewinds to its last snapshot and re-executes; without,
@@ -359,6 +397,11 @@ func (p *Program) runRank(c *mpi.Comm, g *Global, opt RunOptions) error {
 		// parked waiting for its output — keep the watchdog quiet.
 		c.NoteProgress()
 		st.commitTile(t)
+		if pc := opt.ProcCheckpoint; pc != nil && pc.Save != nil && (t+1)%pc.every() == 0 && t+1 < d.ChainLen[r] {
+			if err := st.saveProcSnapshot(pc, t+1); err != nil {
+				return err
+			}
+		}
 	}
 	if err := st.checkReplayDrained(); err != nil {
 		return err
@@ -672,6 +715,12 @@ func (st *rankState) writeBack(g *Global) {
 		n := st.p.TS.T.N
 		for t, pl := range st.tilePlans {
 			tile := st.p.Dist.TileAt(st.rank, int64(t))
+			if pl == nil {
+				// A chain resumed from a process snapshot skipped the tiles
+				// before its restore point; their LDS values are restored, and
+				// the (cached, shape-keyed) plan recovers their offset tables.
+				pl = st.planFor(tile)
+			}
 			mulVecInto(st.pBase, st.p.TS.T.P, tile)
 			tOff := int64(t) * st.chainStep
 			for i := 0; i < pl.npts; i++ {

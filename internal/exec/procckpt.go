@@ -1,0 +1,100 @@
+package exec
+
+import (
+	"fmt"
+
+	"tilespace/internal/mpi"
+)
+
+// RankSnapshot is one rank process's checkpoint: everything a
+// relaunched process needs to resume its chain mid-conversation.
+//
+// NextTile and LDS restore the compute state (the LDS holds every value
+// the chain has produced or received so far, so re-execution starts at
+// the snapshot's tile boundary, not from zero). Recv and Sent are the
+// wire coordinates: the per-(peer, tag) consumed counts seed the fresh
+// world's mailbox matchers (mpi.World.RestoreStreams) and the mesh's
+// accepted watermarks (TCPMesh.RestoreRecvStreams) — so reconnecting
+// peers resend exactly what this rank never consumed — while the sent
+// counts seed the mesh's outbound sequences (TCPMesh.RestoreSentStreams)
+// so regenerated sends are numbered as their lost originals and the
+// suppression/dedup protocol removes every duplicate.
+type RankSnapshot struct {
+	Rank     int
+	NextTile int64
+	LDS      []float64
+	Recv     []mpi.StreamPos
+	Sent     []mpi.StreamPos
+}
+
+// ProcCheckpoint configures rank-process checkpointing (multi-process
+// deployments; see RunOptions.ProcCheckpoint). Unlike Checkpoint — the
+// in-process tile-chain recovery, which replays dropped sends from a
+// live world — this snapshots to stable storage through Save, and
+// recovery means a *new OS process* restoring the snapshot and rejoining
+// the mesh. The caller (cmd/tilerankd) owns persistence and the restore
+// sequence: seed the mesh and world stream state from Resume before
+// accepting connections, then run with Resume set so the rank starts at
+// its snapshot instead of tile zero.
+type ProcCheckpoint struct {
+	// Every is the snapshot cadence in committed tiles (min 1).
+	Every int64
+	// Save persists one snapshot; a non-nil error aborts the run.
+	Save func(*RankSnapshot) error
+	// Resume, when non-nil, restores this rank from a prior snapshot.
+	Resume *RankSnapshot
+}
+
+func (pc *ProcCheckpoint) every() int64 {
+	if pc.Every < 1 {
+		return 1
+	}
+	return pc.Every
+}
+
+// sentCounter is the transport capability the outbound half of a rank
+// snapshot needs; the TCP mesh implements it.
+type sentCounter interface {
+	SentStreamCounts(src int) []mpi.StreamPos
+}
+
+// saveProcSnapshot quiesces this rank's outbound traffic (pending
+// Isends delivered, wire flushed — so the stream counts are exact at
+// the tile boundary) and hands a snapshot to the persistence hook.
+func (st *rankState) saveProcSnapshot(pc *ProcCheckpoint, next int64) error {
+	mpi.Waitall(st.pending)
+	st.reapPending()
+	st.c.FlushWire()
+	w := st.c.World()
+	snap := &RankSnapshot{
+		Rank:     st.rank,
+		NextTile: next,
+		LDS:      append([]float64(nil), st.la...),
+		Recv:     w.StreamCounts(st.rank),
+	}
+	if sc, ok := w.Wire().(sentCounter); ok {
+		snap.Sent = sc.SentStreamCounts(st.rank)
+	}
+	if err := pc.Save(snap); err != nil {
+		return fmt.Errorf("exec: rank %d checkpoint at tile %d: %w", st.rank, next, err)
+	}
+	return nil
+}
+
+// restoreProcSnapshot loads the compute half of a snapshot and returns
+// the chain position to resume from. The wire half (stream counters)
+// must already have been seeded by the caller before the mesh accepted
+// any connection.
+func (st *rankState) restoreProcSnapshot(snap *RankSnapshot) (int64, error) {
+	if snap.Rank != st.rank {
+		return 0, fmt.Errorf("exec: rank %d handed rank %d's snapshot", st.rank, snap.Rank)
+	}
+	if len(snap.LDS) != len(st.la) {
+		return 0, fmt.Errorf("exec: rank %d snapshot LDS has %d values, want %d", st.rank, len(snap.LDS), len(st.la))
+	}
+	if snap.NextTile < 0 || snap.NextTile > st.p.Dist.ChainLen[st.rank] {
+		return 0, fmt.Errorf("exec: rank %d snapshot resumes at tile %d of %d", st.rank, snap.NextTile, st.p.Dist.ChainLen[st.rank])
+	}
+	copy(st.la, snap.LDS)
+	return snap.NextTile, nil
+}

@@ -1,0 +1,228 @@
+package exec_test
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"tilespace/internal/exec"
+	"tilespace/internal/mpi"
+)
+
+// This file is the transport differential matrix: every workload ×
+// tiling family of the differential suite must produce a bit-identical
+// Global AND bit-identical mpi.Stats whether its messages move over the
+// in-process channel fabric or over real loopback TCP sockets with
+// framed, coalesced sends. WireStats (frames, batches, bytes) are the
+// only permitted difference — they do not exist on the channel fabric.
+
+func TestTransportMatrixDifferential(t *testing.T) {
+	for _, c := range diffCases(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if testing.Short() && slowDiffCases[c.name] {
+				t.Skipf("%s is one of the two slowest differential cases; run without -short", c.name)
+			}
+			for _, overlap := range []bool{false, true} {
+				gC, sC, err := c.p.RunParallelOpts(exec.RunOptions{Overlap: overlap})
+				if err != nil {
+					t.Fatalf("channel overlap=%v: %v", overlap, err)
+				}
+				before := runtime.NumGoroutine()
+				gT, sT, err := c.p.RunParallelOpts(exec.RunOptions{Overlap: overlap, Wire: mpi.WireTCP})
+				if err != nil {
+					t.Fatalf("tcp overlap=%v: %v", overlap, err)
+				}
+				if diff, at := gC.MaxAbsDiff(gT, c.p.ScanSpace); diff != 0 {
+					t.Fatalf("overlap=%v: tcp differs from channel by %g at %v", overlap, diff, at)
+				}
+				if !reflect.DeepEqual(sC, sT) {
+					t.Fatalf("overlap=%v: traffic stats differ across transports\nchannel: %+v\ntcp:     %+v", overlap, sC, sT)
+				}
+				checkGoroutines(t, before)
+			}
+		})
+	}
+}
+
+// TestChaosMatrixOverTCP runs the chaos fault classes — slow rank,
+// delayed jittery links, transient send failures, crash with
+// checkpointed restart — over the TCP transport and requires the
+// fault-free channel-fabric Global and Stats, bit for bit. This is the
+// crash-restart machinery recovering over real sockets.
+func TestChaosMatrixOverTCP(t *testing.T) {
+	seed := chaosSeed(t)
+	for _, c := range chaosCases(t) {
+		c := c
+		procs := c.p.Dist.NumProcs()
+		for _, overlap := range []bool{false, true} {
+			want, wantStats, err := c.p.RunParallelOpts(exec.RunOptions{Overlap: overlap})
+			if err != nil {
+				t.Fatalf("%s fault-free overlap=%v: %v", c.name, overlap, err)
+			}
+			for _, f := range chaosFaults(seed, procs, c.p.Dist.ChainLen) {
+				f := f
+				t.Run(fmt.Sprintf("%s/overlap=%v/%s", c.name, overlap, f.name), func(t *testing.T) {
+					before := runtime.NumGoroutine()
+					got, gotStats, err := c.p.RunParallelOpts(exec.RunOptions{
+						Overlap:    overlap,
+						Faults:     f.plan,
+						Checkpoint: f.ck,
+						Wire:       mpi.WireTCP,
+					})
+					if err != nil {
+						t.Fatalf("faulty tcp run: %v", err)
+					}
+					if diff, at := want.MaxAbsDiff(got, c.p.ScanSpace); diff != 0 {
+						t.Fatalf("faulty tcp run differs from fault-free channel run by %g at %v", diff, at)
+					}
+					if f.name == "transient-send-failure" {
+						if gotStats.SendRetries == 0 {
+							t.Error("no retries injected — the fault class is inert at this seed")
+						}
+						gotStats = dropRetries(gotStats)
+					}
+					if !reflect.DeepEqual(wantStats, gotStats) {
+						t.Fatalf("traffic stats drifted across transport under faults\nchannel fault-free: %+v\ntcp faulty:         %+v", wantStats, gotStats)
+					}
+					checkGoroutines(t, before)
+				})
+			}
+		}
+	}
+}
+
+// TestPooledTCPWorldReuse is the serve pool's TCP contract: one TCP
+// world, Reset between runs, must stay bit-identical to fresh channel
+// runs across repeated executions and mode changes.
+func TestPooledTCPWorldReuse(t *testing.T) {
+	var c *diffCase
+	for _, dc := range diffCases(t) {
+		if dc.name == "sor/rect" {
+			dc := dc
+			c = &dc
+			break
+		}
+	}
+	if c == nil {
+		t.Fatal("sor/rect case missing")
+	}
+	refs := map[bool]struct {
+		g *exec.Global
+		s mpi.Stats
+	}{}
+	for _, overlap := range []bool{false, true} {
+		g, s, err := c.p.RunParallelOpts(exec.RunOptions{Overlap: overlap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[overlap] = struct {
+			g *exec.Global
+			s mpi.Stats
+		}{g, s}
+	}
+
+	w, err := mpi.NewTCPWorld(c.p.Dist.NumProcs(), mpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 4; i++ {
+		overlap := i%2 == 1
+		got, gotStats, err := c.p.RunParallelOpts(exec.RunOptions{Overlap: overlap, World: w})
+		if err != nil {
+			t.Fatalf("reused tcp run %d: %v", i, err)
+		}
+		ref := refs[overlap]
+		if diff, at := ref.g.MaxAbsDiff(got, c.p.ScanSpace); diff != 0 {
+			t.Fatalf("reused tcp run %d differs by %g at %v", i, diff, at)
+		}
+		if !reflect.DeepEqual(ref.s, gotStats) {
+			t.Fatalf("reused tcp run %d stats drifted\nwant %+v\n got %+v", i, ref.s, gotStats)
+		}
+	}
+}
+
+// TestProcCheckpointSnapshots pins the process-checkpoint save path:
+// snapshots appear at the configured cadence with coherent chain
+// positions and stream counts, and taking them does not perturb the
+// result or the traffic stats.
+func TestProcCheckpointSnapshots(t *testing.T) {
+	var c *diffCase
+	for _, dc := range diffCases(t) {
+		if dc.name == "jacobi/rect" {
+			dc := dc
+			c = &dc
+			break
+		}
+	}
+	if c == nil {
+		t.Fatal("jacobi/rect case missing")
+	}
+	want, wantStats, err := c.p.RunParallelOpts(exec.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	snaps := map[int][]*exec.RankSnapshot{}
+	got, gotStats, err := c.p.RunParallelOpts(exec.RunOptions{
+		Wire: mpi.WireTCP,
+		Net:  mpi.Options{Watchdog: 10 * time.Second},
+		ProcCheckpoint: &exec.ProcCheckpoint{
+			Every: 2,
+			Save: func(s *exec.RankSnapshot) error {
+				mu.Lock()
+				snaps[s.Rank] = append(snaps[s.Rank], s)
+				mu.Unlock()
+				return nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff, at := want.MaxAbsDiff(got, c.p.ScanSpace); diff != 0 {
+		t.Fatalf("checkpointed run differs by %g at %v", diff, at)
+	}
+	if !reflect.DeepEqual(wantStats, gotStats) {
+		t.Fatalf("checkpointed run stats drifted\nwant %+v\n got %+v", wantStats, gotStats)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots taken")
+	}
+	for r, list := range snaps {
+		for i, s := range list {
+			if s.NextTile%2 != 0 || s.NextTile <= 0 {
+				t.Fatalf("rank %d snapshot %d at unexpected tile %d", r, i, s.NextTile)
+			}
+			if len(s.LDS) == 0 {
+				t.Fatalf("rank %d snapshot %d has empty LDS", r, i)
+			}
+			if i > 0 && s.NextTile <= list[i-1].NextTile {
+				t.Fatalf("rank %d snapshots out of order: %d then %d", r, list[i-1].NextTile, s.NextTile)
+			}
+		}
+	}
+}
+
+// TestProcCheckpointExclusive pins the misuse guard.
+func TestProcCheckpointExclusive(t *testing.T) {
+	for _, dc := range diffCases(t) {
+		if dc.name != "sor/rect" {
+			continue
+		}
+		_, _, err := dc.p.RunParallelOpts(exec.RunOptions{
+			Checkpoint:     &exec.CheckpointOptions{Every: 1},
+			ProcCheckpoint: &exec.ProcCheckpoint{Every: 1, Save: func(*exec.RankSnapshot) error { return nil }},
+		})
+		if err == nil {
+			t.Fatal("Checkpoint+ProcCheckpoint accepted")
+		}
+		return
+	}
+	t.Fatal("sor/rect case missing")
+}

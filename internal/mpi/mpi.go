@@ -16,6 +16,7 @@ package mpi
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -261,6 +262,23 @@ type World struct {
 	barrier *barrier
 	aborted atomic.Bool
 
+	// wire moves delivered messages into destination mailboxes; the
+	// default chanFabric does it synchronously in-process (see
+	// transport.go, tcp.go).
+	wire Transport
+
+	// local[r] reports whether rank r runs in this process. A world
+	// constructed by NewWorld/NewWorldOpts/NewWorldTransport hosts every
+	// rank (remote == false); NewRemoteWorld hosts a subset and relies
+	// on the transport to reach the rest.
+	local  []bool
+	remote bool
+
+	// failMu/failErr record a transport-surfaced failure (connection
+	// loss, lost peer) as the run's primary error.
+	failMu  sync.Mutex
+	failErr error
+
 	messages atomic.Int64
 	values   atomic.Int64
 	perRank  []rankCounters
@@ -304,6 +322,12 @@ func (w *World) stalled(last uint64) (uint64, bool) {
 	if w.nicBusy.Load() > 0 || w.faultBusy.Load() > 0 || w.blocked.Load() < w.active.Load() {
 		return last, false
 	}
+	// Frames still inside the transport (queued for a coalesced write,
+	// on the socket, or stalled behind a peer mid-reconnect) are wire
+	// activity, exactly like nicBusy — never a stall.
+	if w.wire.Busy() {
+		return last, false
+	}
 	return last, true
 }
 
@@ -313,6 +337,33 @@ func NewWorld(size int) *World { return NewWorldOpts(size, Options{}) }
 
 // NewWorldOpts creates a world with explicit options.
 func NewWorldOpts(size int, opts Options) *World {
+	return NewWorldTransport(size, opts, nil)
+}
+
+// NewWorldTransport creates a world whose messages move over the given
+// transport; nil selects the default in-process channel fabric. All
+// ranks run in this process.
+func NewWorldTransport(size int, opts Options, tr Transport) *World {
+	return newWorld(size, nil, opts, tr)
+}
+
+// NewRemoteWorld creates a world of the given global size in which only
+// the listed ranks run in this process; the transport (required) carries
+// traffic to and from the rest. RunE executes fn once per *local* rank,
+// and Stats only count traffic initiated or claimed by local ranks —
+// merging per-process Stats reconstructs the global picture because each
+// rank's counters live where the rank does.
+func NewRemoteWorld(size int, local []int, opts Options, tr Transport) *World {
+	if tr == nil {
+		panic("mpi: NewRemoteWorld requires a transport")
+	}
+	if len(local) == 0 {
+		panic("mpi: NewRemoteWorld requires at least one local rank")
+	}
+	return newWorld(size, local, opts, tr)
+}
+
+func newWorld(size int, local []int, opts Options, tr Transport) *World {
 	if size <= 0 {
 		panic(fmt.Sprintf("mpi: world size %d must be positive", size))
 	}
@@ -320,17 +371,75 @@ func NewWorldOpts(size int, opts Options) *World {
 		panic(err.Error())
 	}
 	w := &World{size: size, opts: opts, barrier: newBarrier(size)}
+	w.local = make([]bool, size)
+	if local == nil {
+		for i := range w.local {
+			w.local[i] = true
+		}
+	} else {
+		w.remote = true
+		for _, r := range local {
+			if r < 0 || r >= size {
+				panic(fmt.Sprintf("mpi: local rank %d outside world of size %d", r, size))
+			}
+			w.local[r] = true
+		}
+	}
 	w.boxes = make([]*mailbox, size)
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 	}
 	w.perRank = make([]rankCounters, size)
 	w.linkSeqs = make([]atomic.Int64, size*size)
+	if tr == nil {
+		tr = &chanFabric{}
+	}
+	w.wire = tr
+	tr.Attach(w)
 	return w
 }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// IsLocal reports whether rank r runs in this process.
+func (w *World) IsLocal(r int) bool { return w.local[r] }
+
+// Remote reports whether this world hosts only a subset of its ranks,
+// with the rest living in peer processes of a shared mesh.
+func (w *World) Remote() bool { return w.remote }
+
+// Wire returns the world's transport (the channel fabric by default).
+func (w *World) Wire() Transport { return w.wire }
+
+// Close releases the transport's resources (sockets, goroutines). The
+// channel fabric holds none; TCP-backed worlds must be closed when they
+// leave a pool or go out of scope, or their mesh goroutines leak.
+func (w *World) Close() error { return w.wire.Close() }
+
+// Fail records err as the world's primary failure and aborts every
+// blocked rank. Transports call it when a link is irrecoverably lost
+// (peer process gone past its reconnect window) so RunE reports the
+// connection loss rather than a secondary watchdog panic; the
+// checkpointed-restart machinery treats it like any other injected
+// fault surfaced through the run error.
+func (w *World) Fail(err error) {
+	if err == nil {
+		return
+	}
+	w.failMu.Lock()
+	if w.failErr == nil {
+		w.failErr = err
+	}
+	w.failMu.Unlock()
+	w.abort()
+}
+
+func (w *World) failure() error {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return w.failErr
+}
 
 // Reset returns the world to its just-constructed state under new
 // options, so a pooled World can be reused across runs without paying
@@ -350,8 +459,15 @@ func (w *World) Reset(opts Options) {
 	if err := opts.Faults.Validate(); err != nil {
 		panic(err.Error())
 	}
+	// Quiesce the wire first: any frame still in flight from the
+	// previous (possibly aborted) run is drained or discarded before the
+	// mailboxes are replaced, so it can never leak into the next run.
+	w.wire.Reset()
 	w.opts = opts
 	w.aborted.Store(false)
+	w.failMu.Lock()
+	w.failErr = nil
+	w.failMu.Unlock()
 	w.barrier = newBarrier(w.size)
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
@@ -408,7 +524,11 @@ func (w *World) wireDelay(n int) time.Duration {
 	return w.opts.LinkLatency + time.Duration(n)*w.opts.PerValue
 }
 
-// deliver counts and enqueues one message into dst's mailbox.
+// deliver counts one message against the sending rank and hands it to
+// the transport. Counters are sender-side and transport-independent, so
+// Stats compare bit-identically across channel and wire-backed worlds;
+// the transport owns everything from here to the destination mailbox
+// (see World.arrive).
 func (w *World) deliver(src, dst, tag int, data []float64, overlapped bool) {
 	w.messages.Add(1)
 	w.values.Add(int64(len(data)))
@@ -419,8 +539,14 @@ func (w *World) deliver(src, dst, tag int, data []float64, overlapped bool) {
 		rc.blocking.Add(1)
 	}
 	rc.values.Add(int64(len(data)))
-	w.progress.Add(1)
-	w.boxes[dst].put(Message{Source: src, Tag: tag, Delivered: time.Now(), Data: data})
+	w.wire.Deliver(src, dst, tag, data)
+}
+
+// deliverRaw moves a runtime-internal message (message-based barrier)
+// through the transport without touching the traffic counters, so
+// protocol chatter never perturbs Stats.
+func (w *World) deliverRaw(src, dst, tag int, data []float64) {
+	w.wire.Deliver(src, dst, tag, data)
 }
 
 // noteRecv counts one claimed message against the receiving rank.
@@ -456,6 +582,9 @@ func (w *World) RunE(fn func(c *Comm)) error {
 	var wg sync.WaitGroup
 	panics := make([]any, w.size)
 	for r := 0; r < w.size; r++ {
+		if !w.local[r] {
+			continue
+		}
 		wg.Add(1)
 		go func(rank int) {
 			c := &Comm{world: w, rank: rank}
@@ -484,7 +613,13 @@ func (w *World) RunE(fn func(c *Comm)) error {
 			}
 			continue
 		}
+		if ferr := w.failure(); ferr != nil {
+			return fmt.Errorf("mpi: transport failure: %w (rank %d: %v)", ferr, r, p)
+		}
 		return fmt.Errorf("mpi: rank %d panicked: %v", r, p)
+	}
+	if ferr := w.failure(); ferr != nil {
+		return fmt.Errorf("mpi: transport failure: %w", ferr)
 	}
 	return secondary
 }
@@ -509,14 +644,18 @@ type Comm struct {
 // Rank returns this endpoint's rank.
 func (c *Comm) Rank() int { return c.rank }
 
+// World returns the world this endpoint belongs to.
+func (c *Comm) World() *World { return c.world }
+
 // Size returns the world size.
 func (c *Comm) Size() int { return c.world.size }
 
-// reserved internal tag space for collectives.
+// reserved internal tag space for collectives and runtime protocol.
 const (
-	tagBcast  = -1000
-	tagReduce = -2000
-	tagGather = -3000
+	tagBcast   = -1000
+	tagReduce  = -2000
+	tagGather  = -3000
+	tagBarrier = -6000
 )
 
 func (c *Comm) checkRank(r int) {
@@ -621,8 +760,51 @@ func (c *Comm) SendRecv(dst, sendTag int, data []float64, src, recvTag int) []fl
 	return c.Recv(src, recvTag)
 }
 
-// Barrier blocks until all ranks have entered it.
-func (c *Comm) Barrier() { c.world.barrier.await(c.world) }
+// Barrier blocks until all ranks have entered it. A single-process
+// world uses the shared-memory counting barrier; a multi-process world
+// runs a message-based barrier over the wire (gather-at-0 then
+// release), whose protocol frames bypass the traffic counters so Stats
+// stay comparable across deployments.
+func (c *Comm) Barrier() {
+	if c.world.remote {
+		c.msgBarrier()
+		return
+	}
+	c.world.barrier.await(c.world)
+}
+
+// msgBarrier is the wire barrier: every rank reports to rank 0, which
+// releases everyone once all reports are in. Successive barriers need
+// no generation numbers — the per-(src, tag) FIFO streams order them.
+func (c *Comm) msgBarrier() {
+	w := c.world
+	if c.rank == 0 {
+		for r := 1; r < w.size; r++ {
+			c.recvRaw(r, tagBarrier)
+		}
+		for r := 1; r < w.size; r++ {
+			w.deliverRaw(0, r, tagBarrier, nil)
+		}
+		return
+	}
+	w.deliverRaw(c.rank, 0, tagBarrier, nil)
+	c.recvRaw(0, tagBarrier)
+}
+
+// recvRaw is recvMsg for runtime-internal protocol messages: same
+// matching, ordering and watchdog behaviour, but no traffic counting.
+func (c *Comm) recvRaw(src, tag int) []float64 {
+	mb := c.world.boxes[c.rank]
+	k := streamKey{src, tag}
+	ticket := mb.reserve(k)
+	return mb.takeTicket(k, ticket, c.world, c.rank, "Barrier").Data
+}
+
+// FlushWire blocks until every message this rank has delivered is out
+// of the transport's own buffers (arrived in-process; written to the
+// socket cross-process). Checkpointing flushes before a snapshot so
+// "sent before the snapshot" is well defined on wire-backed worlds.
+func (c *Comm) FlushWire() { c.world.wire.Flush(c.rank) }
 
 // NoteProgress is World.NoteProgress from inside a rank: programs call it
 // at natural units of forward progress (the executor calls it once per
@@ -831,4 +1013,53 @@ func (c *Comm) Allgather(data []float64) [][]float64 {
 func (c *Comm) SendRecvReplace(dst int, buf []float64, src, tag int) {
 	got := c.SendRecv(dst, tag, buf, src, tag)
 	copy(buf, got)
+}
+
+// StreamPos is one (src, tag) inbound or outbound stream position — the
+// unit of the wire-level resume protocol. For inbound streams Count is
+// messages consumed; for outbound streams it is messages sent.
+type StreamPos struct {
+	Src   int
+	Tag   int
+	Count uint64
+}
+
+// StreamCounts snapshots rank's consumed position on every inbound
+// stream, sorted for determinism. Together with the transport's sent
+// counts it fully describes a rank's communication state at a quiesced
+// tile boundary; a relaunched rank process restores it with
+// RestoreStreams and the mesh resumes mid-conversation.
+func (w *World) StreamCounts(rank int) []StreamPos {
+	mb := w.boxes[rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	out := make([]StreamPos, 0, len(mb.queues))
+	for k, s := range mb.queues {
+		if s.nextTicket == 0 {
+			continue
+		}
+		out = append(out, StreamPos{Src: k.src, Tag: k.tag, Count: s.nextTicket})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
+}
+
+// RestoreStreams seeds rank's mailbox stream counters from a snapshot:
+// the next arriving message on each listed stream is numbered Count and
+// the next Recv claims it. Must be called before any traffic reaches
+// the mailbox (fresh world, transport not yet connected).
+func (w *World) RestoreStreams(rank int, pos []StreamPos) {
+	mb := w.boxes[rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for _, p := range pos {
+		s := mb.streamOf(streamKey{p.Src, p.Tag})
+		s.nextSeq = p.Count
+		s.nextTicket = p.Count
+	}
 }

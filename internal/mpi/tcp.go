@@ -1,0 +1,1137 @@
+package mpi
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCPConfig describes one process's view of a TCP mesh.
+//
+// A mesh is one listener per process plus one dedicated connection per
+// directed link (src, dst) with traffic, dialed lazily by the sending
+// side. All-local configs (Local == nil, Addrs == nil) carry every rank
+// of a single process over real loopback sockets — the wire-backed
+// drop-in for the channel fabric. Multi-process configs host a rank
+// subset and use Addrs as the rendezvous: rank → address of the
+// process hosting it (cmd/tilerankd writes these from a shared
+// rendezvous file).
+type TCPConfig struct {
+	// Size is the global world size.
+	Size int
+	// Local lists the ranks hosted by this process; nil means all.
+	Local []int
+	// Listen is this process's listen address; "" means 127.0.0.1:0.
+	Listen string
+	// Addrs maps every rank to the listen address of its hosting
+	// process. nil means all ranks are local (loopback via own listener).
+	Addrs map[int]string
+	// Heartbeat is the liveness beacon interval for multi-process
+	// meshes (the cross-process watchdog signal). Zero means 50ms.
+	// Ignored when all ranks are local.
+	Heartbeat time.Duration
+	// PeerWait bounds how long a link endpoint waits for its peer to
+	// appear (first connect) or come back (reconnect) before the loss
+	// is surfaced as the run's primary fault. Zero means 10s.
+	PeerWait time.Duration
+	// DialDelay sleeps before every dial attempt — a test hook for
+	// injecting slow reconnects against the watchdog. Zero disables.
+	DialDelay time.Duration
+	// Hold keeps the accept loop parked until Release is called. A
+	// relaunched rank process restoring a checkpoint needs this: the
+	// resume protocol's welcome counts come from stream state the process
+	// seeds via RestoreRecvStreams/RestoreSentStreams, so no peer may
+	// complete a handshake before seeding finishes. The listener itself
+	// opens immediately (peers can connect and sit in the backlog); only
+	// frame exchange waits.
+	Hold bool
+}
+
+// WireStats are the TCP mesh's transport-level counters. They are kept
+// out of Stats deliberately: Stats must compare bit-identically across
+// transports, while these counters only exist when real bytes move.
+type WireStats struct {
+	FramesSent  int64 // data frames written to a socket
+	BytesSent   int64 // data bytes written (frames as encoded)
+	Batches     int64 // coalesced writev batches (one net.Buffers write each)
+	FramesRecvd int64 // data frames accepted into mailboxes
+	Suppressed  int64 // regenerated frames skipped at the sender (resume protocol)
+	Duplicates  int64 // frames dropped at the receiver as already accepted
+	Resent      int64 // retained frames retransmitted after a reconnect
+	Reconnects  int64 // connections re-established after a loss
+	Heartbeats  int64 // heartbeat frames received
+	StaleFrames int64 // frames discarded by an epoch reset
+}
+
+type linkID struct{ src, dst int }
+
+// wireFrame is one encoded frame staged for a link's writer. acct is
+// the exactly-once settlement flag for the mesh's in-custody counter on
+// cross-process frames (nil for protocol frames and in-process data,
+// which settle at the receiver).
+type wireFrame struct {
+	kind byte
+	tag  int
+	seq  uint64
+	acct *atomic.Bool
+	buf  []byte
+}
+
+// TCPMesh is the Transport that moves every message over TCP with
+// length-prefixed frames. Each directed link with traffic gets one
+// connection (dialed by the sender) and one writer goroutine; the
+// writer drains whatever has been queued since its last wake into a
+// single net.Buffers writev, which coalesces the per-(dest, superstep)
+// send bursts the tile schedules produce without adding latency to
+// isolated sends. Readers reassemble frames into the existing Message
+// path via World.arrive.
+//
+// Loss handling: every data frame carries a per-(src, dst, tag)
+// sequence number and senders retain sent frames; a reconnect replays
+// the handshake (hello → welcome with the receiver's per-stream
+// accepted counts), resends retained frames the peer missed, and
+// suppresses regenerated frames the peer already has — which is what
+// lets a killed and relaunched rank process resume mid-conversation. A
+// peer missing past PeerWait surfaces as the run's primary fault via
+// World.Fail.
+type TCPMesh struct {
+	cfg TCPConfig
+	w   *World
+	ln  net.Listener
+	lad string // actual listen address
+	hb  time.Duration
+
+	localSet []bool
+	isRemote bool
+
+	mu     sync.Mutex
+	outs   map[linkID]*outLink
+	ins    map[linkID]*inLink
+	closed atomic.Bool
+	done   chan struct{}
+
+	// hold, when non-nil, parks the accept loop until Release closes it
+	// (TCPConfig.Hold — the checkpoint-restore seeding window).
+	hold     chan struct{}
+	holdOnce sync.Once
+
+	wg sync.WaitGroup
+
+	// epoch stamps data frames; World.Reset bumps it and drains marker
+	// frames so no frame from an aborted run can cross into the next.
+	epoch atomic.Uint32
+
+	markMu   sync.Mutex
+	markCond *sync.Cond
+	marks    map[uint32]int
+
+	// staged counts frames in the mesh's custody: queued, mid-write, or
+	// (in-process) inside a socket buffer. Busy() reports them to the
+	// watchdog, exactly like nicBusy.
+	staged atomic.Int64
+	// down counts link endpoints currently connecting, reconnecting, or
+	// awaiting a peer's return — wire activity, never a stall.
+	down atomic.Int64
+
+	sFramesSent  atomic.Int64
+	sBytesSent   atomic.Int64
+	sBatches     atomic.Int64
+	sFramesRecvd atomic.Int64
+	sSuppressed  atomic.Int64
+	sDuplicates  atomic.Int64
+	sResent      atomic.Int64
+	sReconnects  atomic.Int64
+	sHeartbeats  atomic.Int64
+	sStale       atomic.Int64
+}
+
+// NewTCPMesh opens the process's listener and prepares the mesh; link
+// connections are dialed lazily once a World is attached and traffic
+// (or the heartbeat loop) needs them.
+func NewTCPMesh(cfg TCPConfig) (*TCPMesh, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("mpi: tcp mesh size %d must be positive", cfg.Size)
+	}
+	m := &TCPMesh{
+		cfg:  cfg,
+		hb:   cfg.Heartbeat,
+		outs: map[linkID]*outLink{},
+		ins:  map[linkID]*inLink{},
+		done: make(chan struct{}),
+	}
+	if m.hb <= 0 {
+		m.hb = 50 * time.Millisecond
+	}
+	m.markCond = sync.NewCond(&m.markMu)
+	m.marks = map[uint32]int{}
+	if cfg.Hold {
+		m.hold = make(chan struct{})
+	}
+	m.localSet = make([]bool, cfg.Size)
+	if cfg.Local == nil {
+		for i := range m.localSet {
+			m.localSet[i] = true
+		}
+	} else {
+		m.isRemote = true
+		for _, r := range cfg.Local {
+			if r < 0 || r >= cfg.Size {
+				return nil, fmt.Errorf("mpi: local rank %d outside world of size %d", r, cfg.Size)
+			}
+			m.localSet[r] = true
+		}
+	}
+	addr := cfg.Listen
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: tcp mesh listen: %w", err)
+	}
+	m.ln = ln
+	m.lad = ln.Addr().String()
+	return m, nil
+}
+
+// NewLoopbackTCP is the all-local mesh: every rank of a single-process
+// world, each message crossing a real loopback socket.
+func NewLoopbackTCP(size int) (*TCPMesh, error) {
+	return NewTCPMesh(TCPConfig{Size: size})
+}
+
+// NewTCPWorld is NewWorldOpts over a fresh loopback TCP mesh. The
+// caller owns the world's sockets: Close it when done.
+func NewTCPWorld(size int, opts Options) (*World, error) {
+	m, err := NewLoopbackTCP(size)
+	if err != nil {
+		return nil, err
+	}
+	return NewWorldTransport(size, opts, m), nil
+}
+
+// Addr returns the listener's concrete address (for rendezvous files).
+func (m *TCPMesh) Addr() string { return m.lad }
+
+func (m *TCPMesh) isLocalRank(r int) bool { return r >= 0 && r < len(m.localSet) && m.localSet[r] }
+
+func (m *TCPMesh) peerWait() time.Duration {
+	if m.cfg.PeerWait > 0 {
+		return m.cfg.PeerWait
+	}
+	return 10 * time.Second
+}
+
+func (m *TCPMesh) addrOf(rank int) string {
+	if m.cfg.Addrs != nil {
+		if a, ok := m.cfg.Addrs[rank]; ok {
+			return a
+		}
+	}
+	return m.lad
+}
+
+// Attach binds the mesh to its world and starts the accept loop (and,
+// for multi-process meshes, the heartbeat beacon).
+func (m *TCPMesh) Attach(w *World) {
+	m.w = w
+	m.wg.Add(1)
+	go m.acceptLoop()
+	if m.isRemote {
+		m.wg.Add(1)
+		go m.heartbeatLoop()
+	}
+}
+
+func (m *TCPMesh) fail(err error) {
+	if m.closed.Load() || err == nil {
+		return
+	}
+	m.w.Fail(err)
+}
+
+// WireStats snapshots the transport counters.
+func (m *TCPMesh) WireStats() WireStats {
+	return WireStats{
+		FramesSent:  m.sFramesSent.Load(),
+		BytesSent:   m.sBytesSent.Load(),
+		Batches:     m.sBatches.Load(),
+		FramesRecvd: m.sFramesRecvd.Load(),
+		Suppressed:  m.sSuppressed.Load(),
+		Duplicates:  m.sDuplicates.Load(),
+		Resent:      m.sResent.Load(),
+		Reconnects:  m.sReconnects.Load(),
+		Heartbeats:  m.sHeartbeats.Load(),
+		StaleFrames: m.sStale.Load(),
+	}
+}
+
+// WireStats returns the world's transport counters when its transport
+// is a TCP mesh; ok is false on the channel fabric.
+func (w *World) WireStats() (WireStats, bool) {
+	if m, ok := w.wire.(*TCPMesh); ok {
+		return m.WireStats(), true
+	}
+	return WireStats{}, false
+}
+
+// ---------------------------------------------------------------------
+// Sender side.
+
+// outLink is the sending endpoint of one directed link: a frame queue,
+// a writer goroutine, stream sequence state and the retained archive
+// the resume protocol resends from.
+type outLink struct {
+	m    *TCPMesh
+	id   linkID
+	addr string
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []wireFrame
+	pending  int // frames taken by the writer, not yet written out
+	conn     net.Conn
+	connDead bool
+	everUp   bool
+	sent     map[int]uint64 // next seq per tag
+	peerArr  map[int]uint64 // receiver's accepted counts at last handshake
+	retained []wireFrame    // data frames handed to the writer, in order
+	// epochMark is the newest Reset marker this link still owes the
+	// peer. Unlike data frames it carries no stream sequence, so the
+	// retained-frame machinery can't replay it; the reconnect handshake
+	// resends it verbatim until Reset observes every marker home and
+	// clears it (duplicates are safe: marks are counted per epoch and
+	// stale epochs are swept on the next Reset).
+	epochMark []byte
+}
+
+// out returns (creating and starting if needed) the link src→dst.
+func (m *TCPMesh) out(id linkID) *outLink {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := m.outs[id]
+	if l == nil {
+		l = &outLink{m: m, id: id, addr: m.addrOf(id.dst), sent: map[int]uint64{}}
+		l.cond = sync.NewCond(&l.mu)
+		m.outs[id] = l
+		m.wg.Add(1)
+		go l.run()
+	}
+	return l
+}
+
+// Deliver encodes one message as a data frame and queues it on its
+// link. Eager: it never blocks on the network, so the channel fabric's
+// no-deadlock send semantics carry over unchanged.
+func (m *TCPMesh) Deliver(src, dst, tag int, data []float64) {
+	l := m.out(linkID{src, dst})
+	l.mu.Lock()
+	seq := l.sent[tag]
+	l.sent[tag] = seq + 1
+	fr := wireFrame{
+		kind: frameData,
+		tag:  tag,
+		seq:  seq,
+		buf:  encodeDataFrame(m.epoch.Load(), tag, seq, data),
+	}
+	if !m.isLocalRank(dst) {
+		fr.acct = new(atomic.Bool)
+	}
+	m.staged.Add(1)
+	l.queue = append(l.queue, fr)
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// enqueue queues a protocol frame (heartbeat, epoch mark) on the link.
+func (l *outLink) enqueue(fr wireFrame) {
+	l.mu.Lock()
+	l.queue = append(l.queue, fr)
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// settle marks one cross-process frame as out of mesh custody, exactly
+// once no matter how many transmissions (first write, resend,
+// suppression) race to report it.
+func (m *TCPMesh) settle(fr wireFrame) {
+	if fr.acct != nil && fr.acct.CompareAndSwap(false, true) {
+		m.staged.Add(-1)
+	}
+}
+
+func (l *outLink) run() {
+	defer l.m.wg.Done()
+	for {
+		conn := l.ensureConn()
+		if conn == nil {
+			return // mesh closed, or peer declared lost (run already failed)
+		}
+		batch, ok := l.takeBatch()
+		if !ok {
+			return
+		}
+		if len(batch) == 0 {
+			continue // woken by a dead connection: reconnect
+		}
+		l.writeBatch(conn, batch)
+	}
+}
+
+// takeBatch blocks until frames are queued (or the connection died, or
+// the mesh closed) and claims everything queued so far — the coalescing
+// step: one wake drains one burst into one writev.
+func (l *outLink) takeBatch() ([]wireFrame, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.queue) == 0 && !l.connDead && !l.m.closed.Load() {
+		l.cond.Wait()
+	}
+	if l.m.closed.Load() {
+		l.closeConnLocked()
+		return nil, false
+	}
+	if len(l.queue) == 0 {
+		return nil, true
+	}
+	batch := l.queue
+	l.queue = nil
+	l.pending = len(batch)
+	for _, fr := range batch {
+		if fr.kind == frameData {
+			l.retained = append(l.retained, fr)
+		}
+	}
+	return batch, true
+}
+
+// writeBatch filters suppressed frames and writes the rest as one
+// vectored send. On failure the connection is marked dead; the frames
+// are already retained, so the reconnect handshake redelivers whatever
+// the peer is missing.
+func (l *outLink) writeBatch(conn net.Conn, batch []wireFrame) {
+	l.mu.Lock()
+	peerArr := l.peerArr
+	l.mu.Unlock()
+	bufs := make(net.Buffers, 0, len(batch))
+	var kept []wireFrame
+	for _, fr := range batch {
+		if fr.kind == frameData && peerArr != nil && fr.seq < peerArr[fr.tag] {
+			l.m.sSuppressed.Add(1)
+			l.m.settle(fr)
+			continue
+		}
+		kept = append(kept, fr)
+		bufs = append(bufs, fr.buf)
+	}
+	if len(bufs) > 0 {
+		if _, err := bufs.WriteTo(conn); err != nil {
+			l.mu.Lock()
+			if l.conn == conn {
+				l.connDead = true
+			}
+			l.pending = 0
+			l.mu.Unlock()
+			l.cond.Broadcast()
+			return
+		}
+		var frames, bytes int64
+		for _, fr := range kept {
+			if fr.kind != frameData {
+				continue
+			}
+			frames++
+			bytes += int64(len(fr.buf))
+			l.m.settle(fr)
+		}
+		l.m.sBatches.Add(1)
+		l.m.sFramesSent.Add(frames)
+		l.m.sBytesSent.Add(bytes)
+	}
+	l.mu.Lock()
+	l.pending = 0
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// ensureConn returns a healthy connection, running the dial + hello →
+// welcome handshake (and retained-frame resend) when there is none.
+// While it works the mesh reports Busy, so a slow reconnect is wire
+// activity to the watchdog, never a two-strike stall. A peer missing
+// past PeerWait fails the run.
+func (l *outLink) ensureConn() net.Conn {
+	l.mu.Lock()
+	if l.conn != nil && !l.connDead {
+		c := l.conn
+		l.mu.Unlock()
+		return c
+	}
+	reconnect := l.everUp
+	l.mu.Unlock()
+
+	l.m.down.Add(1)
+	defer l.m.down.Add(-1)
+	deadline := time.Now().Add(l.m.peerWait())
+	backoff := time.Millisecond
+	var lastErr error
+	for {
+		if l.m.closed.Load() {
+			l.closeConn()
+			return nil
+		}
+		if d := l.m.cfg.DialDelay; d > 0 {
+			time.Sleep(d)
+		}
+		conn, err := l.dialOnce()
+		if err == nil {
+			l.mu.Lock()
+			if l.conn != nil {
+				l.conn.Close()
+			}
+			l.conn = conn
+			l.connDead = false
+			l.everUp = true
+			l.mu.Unlock()
+			if reconnect {
+				l.m.sReconnects.Add(1)
+			}
+			l.m.wg.Add(1)
+			go l.monitor(conn)
+			if !l.resendRetained(conn) {
+				continue // resend failed; dial again
+			}
+			return conn
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			l.m.fail(fmt.Errorf("mpi: rank %d lost rank %d (%s unreachable for %v): %w",
+				l.id.src, l.id.dst, l.addr, l.m.peerWait(), lastErr))
+			return nil
+		}
+		select {
+		case <-l.m.done:
+			l.closeConn()
+			return nil
+		case <-time.After(backoff):
+		}
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// dialOnce runs one connection attempt: dial, hello, welcome.
+func (l *outLink) dialOnce() (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", l.addr, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	hsDeadline := time.Now().Add(l.m.peerWait())
+	_ = conn.SetDeadline(hsDeadline)
+	if _, err := conn.Write(encodeHelloFrame(l.id.src, l.id.dst)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	body, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if body[0] != frameWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("mpi: link %d→%d: unexpected frame kind %d in handshake", l.id.src, l.id.dst, body[0])
+	}
+	counts, err := decodeWelcomeFrame(body)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	l.mu.Lock()
+	l.peerArr = counts
+	l.mu.Unlock()
+	return conn, nil
+}
+
+// resendRetained redelivers every retained frame the welcome says the
+// peer has not accepted, in stream order.
+func (l *outLink) resendRetained(conn net.Conn) bool {
+	l.mu.Lock()
+	var resend net.Buffers
+	n := 0
+	for _, fr := range l.retained {
+		if fr.seq >= l.peerArr[fr.tag] {
+			resend = append(resend, fr.buf)
+			n++
+		}
+	}
+	// An unconfirmed Reset marker rides behind the data so it still
+	// arrives after any old-epoch traffic; without this a marker lost to
+	// a dropped connection would wedge Reset forever.
+	if l.epochMark != nil {
+		resend = append(resend, l.epochMark)
+	}
+	retained := l.retained
+	l.mu.Unlock()
+	if len(resend) == 0 {
+		return true
+	}
+	if _, err := resend.WriteTo(conn); err != nil {
+		l.mu.Lock()
+		if l.conn == conn {
+			l.connDead = true
+		}
+		l.mu.Unlock()
+		return false
+	}
+	for _, fr := range retained {
+		l.m.settle(fr)
+	}
+	l.m.sResent.Add(int64(n))
+	return true
+}
+
+// monitor watches a dialed connection for death: nothing arrives on it
+// after the welcome, so any read completion means the peer closed or
+// the network dropped it — wake the writer to reconnect even if the
+// queue is empty (the accepter side is waiting for us to come back).
+func (l *outLink) monitor(conn net.Conn) {
+	defer l.m.wg.Done()
+	one := make([]byte, 1)
+	_, _ = conn.Read(one)
+	l.mu.Lock()
+	if l.conn == conn {
+		l.connDead = true
+	}
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+func (l *outLink) closeConn() {
+	l.mu.Lock()
+	l.closeConnLocked()
+	l.mu.Unlock()
+}
+
+func (l *outLink) closeConnLocked() {
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+	l.connDead = false
+}
+
+// flushable reports whether any queued frame needs delivery guarantees.
+// Heartbeats don't: they are regenerated every tick, so one parked on a
+// link whose peer is gone must never hold a flush hostage.
+func flushable(queue []wireFrame) bool {
+	for _, fr := range queue {
+		if fr.kind != frameHeartbeat {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush blocks until every frame rank src has delivered is out of the
+// mesh's buffers: queue drained and the current batch written. A dead
+// connection does not block it — bytes already written are delivered by
+// the kernel regardless of what this process does next, and frames that
+// failed mid-write are retained and resent by the reconnect protocol.
+// Flush promises "out of our buffers", not end-to-end receipt; receipt
+// is what the per-stream sequence counts settle on reconnect.
+func (m *TCPMesh) Flush(src int) {
+	m.mu.Lock()
+	links := make([]*outLink, 0, len(m.outs))
+	for id, l := range m.outs {
+		if id.src == src {
+			links = append(links, l)
+		}
+	}
+	m.mu.Unlock()
+	for _, l := range links {
+		l.mu.Lock()
+		for (flushable(l.queue) || l.pending > 0) && !m.closed.Load() {
+			l.cond.Wait()
+		}
+		l.mu.Unlock()
+	}
+}
+
+// Busy reports frames in mesh custody or links mid-(re)connect.
+func (m *TCPMesh) Busy() bool {
+	return m.staged.Load() > 0 || m.down.Load() > 0
+}
+
+// ---------------------------------------------------------------------
+// Receiver side.
+
+// inLink is the receiving endpoint of one directed link: per-tag
+// accepted counts (the dedup watermark the welcome advertises) and the
+// currently adopted connection.
+type inLink struct {
+	m  *TCPMesh
+	id linkID
+
+	mu        sync.Mutex
+	streams   map[int]uint64
+	conn      net.Conn
+	downLink  bool
+	downTimer *time.Timer
+	lastHB    uint64
+	hbSeen    bool
+}
+
+func (m *TCPMesh) in(id linkID) *inLink {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	il := m.ins[id]
+	if il == nil {
+		il = &inLink{m: m, id: id, streams: map[int]uint64{}}
+		m.ins[id] = il
+	}
+	return il
+}
+
+// Release opens a held mesh for business (TCPConfig.Hold): the accept
+// loop starts serving handshakes. Call after every RestoreRecvStreams/
+// RestoreSentStreams/World.RestoreStreams seed. Idempotent; a no-op on
+// meshes created without Hold.
+func (m *TCPMesh) Release() {
+	if m.hold != nil {
+		m.holdOnce.Do(func() { close(m.hold) })
+	}
+}
+
+func (m *TCPMesh) acceptLoop() {
+	defer m.wg.Done()
+	if m.hold != nil {
+		select {
+		case <-m.hold:
+		case <-m.done:
+			return
+		}
+	}
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		m.wg.Add(1)
+		go m.serveConn(conn)
+	}
+}
+
+// serveConn handshakes one inbound connection (hello → welcome) and
+// adopts it as its link's active connection, then reads frames until it
+// dies. A replaced connection (the peer reconnected) is closed and its
+// reader exits without marking the link down.
+func (m *TCPMesh) serveConn(conn net.Conn) {
+	defer m.wg.Done()
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(m.peerWait()))
+	body, err := readFrame(conn)
+	if err != nil || body[0] != frameHello {
+		return
+	}
+	src, dst, err := decodeHelloFrame(body)
+	if err != nil || src < 0 || src >= m.cfg.Size || !m.isLocalRank(dst) {
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	il := m.in(linkID{src, dst})
+	il.mu.Lock()
+	welcome := encodeWelcomeFrame(il.streams)
+	old := il.conn
+	il.conn = conn
+	if il.downLink {
+		il.downLink = false
+		m.down.Add(-1)
+		if il.downTimer != nil {
+			il.downTimer.Stop()
+			il.downTimer = nil
+		}
+	}
+	il.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	if _, err := conn.Write(welcome); err != nil {
+		m.connLost(il, conn)
+		return
+	}
+	m.readLoop(il, conn)
+}
+
+func (m *TCPMesh) readLoop(il *inLink, conn net.Conn) {
+	for {
+		body, err := readFrame(conn)
+		if err != nil {
+			m.connLost(il, conn)
+			return
+		}
+		switch body[0] {
+		case frameData:
+			f, err := decodeDataFrame(body)
+			if err != nil {
+				m.fail(fmt.Errorf("mpi: link %d→%d: %w", il.id.src, il.id.dst, err))
+				m.connLost(il, conn)
+				return
+			}
+			m.acceptData(il, f)
+		case frameHeartbeat:
+			prog, busy, err := decodeHeartbeatFrame(body)
+			if err != nil {
+				continue
+			}
+			m.sHeartbeats.Add(1)
+			il.mu.Lock()
+			changed := !il.hbSeen || prog != il.lastHB
+			il.hbSeen = true
+			il.lastHB = prog
+			il.mu.Unlock()
+			// A peer whose progress moved, or that reports live wire or
+			// compute activity, is alive: that is watchdog progress here.
+			if changed || busy {
+				m.w.NoteProgress()
+			}
+		case frameEpoch:
+			if ep, err := decodeEpochFrame(body); err == nil {
+				m.noteMark(ep)
+			}
+		}
+	}
+}
+
+// acceptData applies the dedup/ordering protocol and delivers the frame
+// into the destination mailbox.
+func (m *TCPMesh) acceptData(il *inLink, f dataFrame) {
+	// A frame from a dead epoch never reaches a mailbox; its custody
+	// count is resolved by Reset's final zeroing of staged.
+	if f.epoch != m.epoch.Load() {
+		m.sStale.Add(1)
+		return
+	}
+	il.mu.Lock()
+	expect := il.streams[f.tag]
+	if f.seq < expect {
+		il.mu.Unlock()
+		m.sDuplicates.Add(1)
+		return
+	}
+	if f.seq > expect {
+		il.mu.Unlock()
+		m.fail(fmt.Errorf("mpi: link %d→%d tag %d: stream gap (got frame %d, expected %d)",
+			il.id.src, il.id.dst, f.tag, f.seq, expect))
+		return
+	}
+	il.streams[f.tag] = expect + 1
+	il.mu.Unlock()
+	m.sFramesRecvd.Add(1)
+	if m.isLocalRank(il.id.src) {
+		m.staged.Add(-1)
+	}
+	m.w.arrive(il.id.src, il.id.dst, f.tag, f.data)
+}
+
+// connLost marks a link's active connection dead and arms the PeerWait
+// deadline: if the peer does not reconnect in time, the loss becomes
+// the run's primary fault.
+func (m *TCPMesh) connLost(il *inLink, conn net.Conn) {
+	if m.closed.Load() {
+		return
+	}
+	il.mu.Lock()
+	if il.conn != conn || il.downLink {
+		il.mu.Unlock()
+		return
+	}
+	il.downLink = true
+	m.down.Add(1)
+	id := il.id
+	il.downTimer = time.AfterFunc(m.peerWait(), func() {
+		il.mu.Lock()
+		still := il.downLink
+		il.mu.Unlock()
+		if still && !m.closed.Load() {
+			m.fail(fmt.Errorf("mpi: rank %d lost contact with rank %d (no reconnect within %v)",
+				id.dst, id.src, m.peerWait()))
+		}
+	})
+	il.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------
+// Liveness beacons (multi-process only).
+
+// heartbeatLoop periodically beacons this process's progress counter
+// and busy state to every peer process, on one designated link each.
+// Receivers convert observed liveness into watchdog progress, so a
+// remote rank deep in a compute phase never reads as a deadlock — while
+// a genuinely wedged cluster (everyone parked, nothing moving) sends
+// unchanging, non-busy beacons and the watchdog still fires.
+func (m *TCPMesh) heartbeatLoop() {
+	defer m.wg.Done()
+	if m.hold != nil {
+		select {
+		case <-m.hold:
+		case <-m.done:
+			return
+		}
+	}
+	t := time.NewTicker(m.hb)
+	defer t.Stop()
+	var links []*outLink
+	for _, dst := range m.beaconTargets() {
+		links = append(links, m.out(linkID{m.lowestLocal(), dst}))
+	}
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-t.C:
+		}
+		w := m.w
+		busy := w.nicBusy.Load() > 0 || w.faultBusy.Load() > 0 ||
+			w.blocked.Load() < w.active.Load() || m.staged.Load() > 0
+		fr := wireFrame{kind: frameHeartbeat, buf: encodeHeartbeatFrame(w.progress.Load(), busy)}
+		for _, l := range links {
+			l.enqueue(fr)
+		}
+	}
+}
+
+func (m *TCPMesh) lowestLocal() int {
+	for r, ok := range m.localSet {
+		if ok {
+			return r
+		}
+	}
+	return 0
+}
+
+// beaconTargets picks one representative rank per remote process (the
+// lowest rank at each distinct address).
+func (m *TCPMesh) beaconTargets() []int {
+	seen := map[string]bool{}
+	var out []int
+	for r := 0; r < m.cfg.Size; r++ {
+		if m.isLocalRank(r) {
+			continue
+		}
+		a := m.addrOf(r)
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Reset (epoch quiesce) and Close.
+
+func (m *TCPMesh) noteMark(ep uint32) {
+	m.markMu.Lock()
+	m.marks[ep]++
+	m.markMu.Unlock()
+	m.markCond.Broadcast()
+}
+
+// Reset quiesces the mesh between runs: it bumps the epoch (readers
+// drop every frame still carrying the old one), pushes a marker frame
+// down each link behind any leftover traffic, and waits until every
+// marker has come back around — after which no frame from the previous
+// run can ever reach a mailbox, and all stream state restarts from
+// zero. Only all-local meshes support Reset; multi-process deployments
+// are one run per process by construction.
+func (m *TCPMesh) Reset() {
+	if m.isRemote {
+		panic("mpi: Reset on a multi-process TCP mesh is not supported")
+	}
+	m.mu.Lock()
+	links := make([]*outLink, 0, len(m.outs))
+	for _, l := range m.outs {
+		links = append(links, l)
+	}
+	m.mu.Unlock()
+	ep := m.epoch.Add(1)
+	if len(links) > 0 {
+		fr := wireFrame{kind: frameEpoch, buf: encodeEpochFrame(ep)}
+		for _, l := range links {
+			l.mu.Lock()
+			l.epochMark = fr.buf
+			l.queue = append(l.queue, fr)
+			l.mu.Unlock()
+			l.cond.Broadcast()
+		}
+		m.markMu.Lock()
+		for m.marks[ep] < len(links) && !m.closed.Load() {
+			m.markCond.Wait()
+		}
+		for e := range m.marks {
+			if e <= ep {
+				delete(m.marks, e)
+			}
+		}
+		m.markMu.Unlock()
+		for _, l := range links {
+			l.mu.Lock()
+			l.epochMark = nil
+			l.mu.Unlock()
+		}
+	}
+	m.mu.Lock()
+	for _, l := range m.outs {
+		l.mu.Lock()
+		l.sent = map[int]uint64{}
+		l.retained = nil
+		l.peerArr = nil
+		l.mu.Unlock()
+	}
+	for _, il := range m.ins {
+		il.mu.Lock()
+		il.streams = map[int]uint64{}
+		il.mu.Unlock()
+	}
+	m.mu.Unlock()
+	m.staged.Store(0)
+}
+
+// Close tears the mesh down: listener, connections, writer and reader
+// goroutines. Idempotent.
+func (m *TCPMesh) Close() error {
+	if !m.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(m.done)
+	m.ln.Close()
+	m.mu.Lock()
+	outs := make([]*outLink, 0, len(m.outs))
+	for _, l := range m.outs {
+		outs = append(outs, l)
+	}
+	ins := make([]*inLink, 0, len(m.ins))
+	for _, il := range m.ins {
+		ins = append(ins, il)
+	}
+	m.mu.Unlock()
+	for _, l := range outs {
+		l.mu.Lock()
+		if l.conn != nil {
+			l.conn.Close()
+		}
+		l.mu.Unlock()
+		l.cond.Broadcast()
+	}
+	for _, il := range ins {
+		il.mu.Lock()
+		if il.conn != nil {
+			il.conn.Close()
+		}
+		if il.downTimer != nil {
+			il.downTimer.Stop()
+			il.downTimer = nil
+		}
+		il.mu.Unlock()
+	}
+	m.markCond.Broadcast()
+	m.wg.Wait()
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Resume protocol state seeding (relaunched rank processes).
+
+// RestoreRecvStreams seeds dst's per-stream accepted watermarks from a
+// checkpoint, before the mesh accepts any connection: the next welcome
+// on each link advertises these counts, so live peers resend exactly
+// the frames this process consumed nothing of and suppress the rest.
+// pos entries use Src as the sending rank.
+func (m *TCPMesh) RestoreRecvStreams(dst int, pos []StreamPos) {
+	for _, p := range pos {
+		il := m.in(linkID{p.Src, dst})
+		il.mu.Lock()
+		il.streams[p.Tag] = p.Count
+		il.mu.Unlock()
+	}
+}
+
+// RestoreSentStreams seeds src's outbound stream sequence counters from
+// a checkpoint, so sends regenerated by deterministic re-execution are
+// numbered as their originals were — the receiver-side dedup and the
+// sender-side suppression then remove every duplicate. pos entries use
+// Src as the *destination* rank.
+func (m *TCPMesh) RestoreSentStreams(src int, pos []StreamPos) {
+	for _, p := range pos {
+		l := m.out(linkID{src, p.Src})
+		l.mu.Lock()
+		l.sent[p.Tag] = p.Count
+		l.mu.Unlock()
+	}
+}
+
+// SentStreamCounts snapshots src's outbound per-stream sent counts
+// (sorted), the outbound half of a rank checkpoint.
+func (m *TCPMesh) SentStreamCounts(src int) []StreamPos {
+	m.mu.Lock()
+	links := make([]*outLink, 0, len(m.outs))
+	ids := make([]linkID, 0, len(m.outs))
+	for id, l := range m.outs {
+		if id.src == src {
+			links = append(links, l)
+			ids = append(ids, id)
+		}
+	}
+	m.mu.Unlock()
+	var out []StreamPos
+	for i, l := range links {
+		l.mu.Lock()
+		for tag, n := range l.sent {
+			if n > 0 {
+				out = append(out, StreamPos{Src: ids[i].dst, Tag: tag, Count: n})
+			}
+		}
+		l.mu.Unlock()
+	}
+	sortStreamPos(out)
+	return out
+}
+
+func sortStreamPos(out []StreamPos) {
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (out[j].Src < out[j-1].Src || (out[j].Src == out[j-1].Src && out[j].Tag < out[j-1].Tag)); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Test hooks.
+
+// DropLink forcibly closes the connection carrying src→dst traffic, as
+// if the network dropped it; both endpoints observe the loss and run
+// the reconnect protocol. Test hook for watchdog/recovery coverage.
+func (m *TCPMesh) DropLink(src, dst int) {
+	id := linkID{src, dst}
+	m.mu.Lock()
+	l := m.outs[id]
+	il := m.ins[id]
+	m.mu.Unlock()
+	if l != nil {
+		l.mu.Lock()
+		if l.conn != nil {
+			l.conn.Close()
+		}
+		l.mu.Unlock()
+	}
+	if il != nil {
+		il.mu.Lock()
+		if il.conn != nil {
+			il.conn.Close()
+		}
+		il.mu.Unlock()
+	}
+}

@@ -1,0 +1,390 @@
+package mpi
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTCPWorldT(t *testing.T, size int, opts Options) *World {
+	t.Helper()
+	w, err := NewTCPWorld(size, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+// TestTCPWorldMatchesChannelStats is the transport contract in
+// miniature: the same traffic pattern over loopback TCP produces Stats
+// bit-identical to the channel fabric, because all counters are
+// sender-side and transport-independent.
+func TestTCPWorldMatchesChannelStats(t *testing.T) {
+	const size = 5
+	opts := Options{Watchdog: 5 * time.Second}
+
+	ch := NewWorldOpts(size, opts)
+	if err := ch.RunE(ringTraffic); err != nil {
+		t.Fatal(err)
+	}
+	want := ch.Stats()
+
+	tw := newTCPWorldT(t, size, opts)
+	if err := tw.RunE(ringTraffic); err != nil {
+		t.Fatal(err)
+	}
+	if got := tw.Stats(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("TCP world stats differ from channel world:\n got %+v\nwant %+v", got, want)
+	}
+	ws, ok := tw.WireStats()
+	if !ok {
+		t.Fatal("TCP world reports no WireStats")
+	}
+	if ws.FramesSent == 0 || ws.FramesRecvd == 0 || ws.Batches == 0 {
+		t.Fatalf("no traffic crossed the wire: %+v", ws)
+	}
+	if ws.FramesSent > 0 && ws.Batches > ws.FramesSent {
+		t.Fatalf("more batches than frames: %+v", ws)
+	}
+	if _, ok := ch.WireStats(); ok {
+		t.Fatal("channel world unexpectedly reports WireStats")
+	}
+}
+
+// TestTCPWorldResetBitIdentical is the satellite-4 contract: a TCP
+// world reused via Reset — including after an aborted run that left
+// frames in flight on real sockets — is bit-identical to a fresh one.
+func TestTCPWorldResetBitIdentical(t *testing.T) {
+	const size = 4
+	opts := Options{Watchdog: 5 * time.Second}
+
+	fresh := newTCPWorldT(t, size, opts)
+	if err := fresh.RunE(ringTraffic); err != nil {
+		t.Fatal(err)
+	}
+	want := fresh.Stats()
+
+	reused := newTCPWorldT(t, size, opts)
+	// Aborted dirty run: rank 0 pumps large unclaimed messages at its
+	// peers (guaranteed in flight through the mesh when the run dies),
+	// then panics; everyone else leaves immediately.
+	err := reused.RunE(func(c *Comm) {
+		if c.Rank() == 0 {
+			big := make([]float64, 4096)
+			for i := 0; i < 32; i++ {
+				//lint:ignore waitcheck abandoning in-flight requests is the abort under test
+				c.Isend(1+(i%(size-1)), 11, big)
+			}
+			panic("injected abort with frames in flight")
+		}
+	})
+	if err == nil {
+		t.Fatal("expected the injected abort to surface")
+	}
+
+	reused.Reset(opts)
+	if got := reused.Stats(); !reflect.DeepEqual(got, Stats{PerRank: make([]RankTraffic, size)}) {
+		t.Fatalf("Reset left non-zero stats: %+v", got)
+	}
+	if err := reused.RunE(ringTraffic); err != nil {
+		t.Fatal(err)
+	}
+	if got := reused.Stats(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reused TCP world stats differ from fresh:\n got %+v\nwant %+v", got, want)
+	}
+	ws, _ := reused.WireStats()
+	if ws.StaleFrames == 0 {
+		t.Logf("note: no stale frames observed (abort drained before reset); %+v", ws)
+	}
+}
+
+// TestTCPWorldRepeatedResetReuse reuses one TCP world across several
+// runs, checking stats parity every time — the serve pool's pattern.
+func TestTCPWorldRepeatedResetReuse(t *testing.T) {
+	const size = 3
+	opts := Options{Watchdog: 5 * time.Second}
+	ch := NewWorldOpts(size, opts)
+	if err := ch.RunE(ringTraffic); err != nil {
+		t.Fatal(err)
+	}
+	want := ch.Stats()
+
+	tw := newTCPWorldT(t, size, opts)
+	for i := 0; i < 4; i++ {
+		if i > 0 {
+			tw.Reset(opts)
+		}
+		if err := tw.RunE(ringTraffic); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if got := tw.Stats(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d stats diverged:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+// dropAndRecover drives one send → drop link → send sequence with the
+// given reconnect delay and watchdog, returning the run error.
+func dropAndRecover(t *testing.T, dialDelay, watchdog time.Duration) error {
+	t.Helper()
+	mesh, err := NewTCPMesh(TCPConfig{Size: 2, DialDelay: dialDelay, PeerWait: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorldTransport(2, Options{Watchdog: watchdog}, mesh)
+	t.Cleanup(func() { w.Close() })
+	sentFirst := make(chan struct{})
+	dropped := make(chan struct{})
+	go func() {
+		<-sentFirst
+		// Let the first frame cross, then sever the link while rank 1 is
+		// already parked in its second Recv under the watchdog.
+		time.Sleep(20 * time.Millisecond)
+		mesh.DropLink(0, 1)
+		time.Sleep(10 * time.Millisecond)
+		close(dropped)
+	}()
+	return w.RunE(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 5, []float64{1})
+			close(sentFirst)
+			<-dropped
+			c.Send(1, 5, []float64{2})
+			return
+		}
+		c.Recv(0, 5)
+		c.Recv(0, 5)
+	})
+}
+
+// TestTCPWatchdogToleratesReconnect is the satellite-3 contract: a peer
+// mid-reconnect counts as wire activity (like nicBusy), never as a
+// two-strike stall — with the injected reconnect delay both just under
+// and well over the watchdog's two-strike threshold.
+func TestTCPWatchdogToleratesReconnect(t *testing.T) {
+	const watchdog = 150 * time.Millisecond
+	// Just under one watchdog period.
+	if err := dropAndRecover(t, 100*time.Millisecond, watchdog); err != nil {
+		t.Fatalf("reconnect under threshold tripped the run: %v", err)
+	}
+	// Well over the two-strike threshold (2 × 150ms): only Busy()
+	// coverage keeps the watchdog quiet here.
+	if err := dropAndRecover(t, 400*time.Millisecond, watchdog); err != nil {
+		t.Fatalf("reconnect over threshold tripped the run: %v", err)
+	}
+}
+
+// TestTCPWatchdogStillFiresOnRealDeadlock guards against the opposite
+// failure: Busy() must not mask a genuine deadlock on an idle mesh.
+func TestTCPWatchdogStillFiresOnRealDeadlock(t *testing.T) {
+	w := newTCPWorldT(t, 2, Options{Watchdog: 100 * time.Millisecond})
+	err := w.RunE(func(c *Comm) {
+		if c.Rank() == 1 {
+			c.Recv(0, 3) // nobody sends
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "watchdog") {
+		t.Fatalf("expected a watchdog diagnostic, got: %v", err)
+	}
+}
+
+// TestTCPSurvivesLinkDropsUnderLoad hammers a 3-rank world with
+// repeated traffic while the test keeps severing connections: the
+// retained-frame resend plus receiver dedup must keep every run
+// completing with bit-identical stats.
+func TestTCPSurvivesLinkDropsUnderLoad(t *testing.T) {
+	const size = 3
+	opts := Options{Watchdog: 10 * time.Second}
+	ch := NewWorldOpts(size, opts)
+	if err := ch.RunE(ringTraffic); err != nil {
+		t.Fatal(err)
+	}
+	want := ch.Stats()
+
+	mesh, err := NewTCPMesh(TCPConfig{Size: size, PeerWait: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorldTransport(size, opts, mesh)
+	t.Cleanup(func() { w.Close() })
+
+	stop := make(chan struct{})
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(3 * time.Millisecond):
+			}
+			mesh.DropLink(i%size, (i+1)%size)
+		}
+	}()
+	for run := 0; run < 5; run++ {
+		if run > 0 {
+			w.Reset(opts)
+		}
+		if err := w.RunE(ringTraffic); err != nil {
+			t.Fatalf("run %d under link drops: %v", run, err)
+		}
+		if got := w.Stats(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d stats diverged under link drops:\n got %+v\nwant %+v", run, got, want)
+		}
+	}
+	close(stop)
+	<-chaosDone
+}
+
+// twoProcessWorlds builds a 2-rank mesh split across two in-process
+// "processes" (one mesh + remote world per rank) — the multi-process
+// deployment's protocol exercised without spawning binaries.
+func twoProcessWorlds(t *testing.T, opts Options) (*World, *World) {
+	t.Helper()
+	addrs := map[int]string{}
+	m0, err := NewTCPMesh(TCPConfig{Size: 2, Local: []int{0}, Addrs: addrs, PeerWait: 10 * time.Second, Heartbeat: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := NewTCPMesh(TCPConfig{Size: 2, Local: []int{1}, Addrs: addrs, PeerWait: 10 * time.Second, Heartbeat: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs[0] = m0.Addr()
+	addrs[1] = m1.Addr()
+	w0 := NewRemoteWorld(2, []int{0}, opts, m0)
+	w1 := NewRemoteWorld(2, []int{1}, opts, m1)
+	t.Cleanup(func() { w0.Close(); w1.Close() })
+	return w0, w1
+}
+
+// TestTCPRemoteWorldPair runs a send/recv/barrier/collective pattern
+// split across two remote worlds and checks the merged per-rank stats
+// equal a single-process channel run of the same pattern.
+func TestTCPRemoteWorldPair(t *testing.T) {
+	opts := Options{Watchdog: 5 * time.Second}
+	pattern := func(c *Comm) {
+		peer := 1 - c.Rank()
+		for i := 0; i < 3; i++ {
+			c.Send(peer, 7, []float64{float64(c.Rank()), float64(i)})
+		}
+		for i := 0; i < 3; i++ {
+			got := c.Recv(peer, 7)
+			if len(got) != 2 || got[0] != float64(peer) || got[1] != float64(i) {
+				panic("payload mismatch")
+			}
+		}
+		c.Barrier()
+		sum := c.Allreduce(OpSum, []float64{float64(c.Rank() + 1)})
+		if sum[0] != 3 {
+			panic("allreduce mismatch")
+		}
+		c.Barrier()
+	}
+
+	ch := NewWorldOpts(2, opts)
+	if err := ch.RunE(pattern); err != nil {
+		t.Fatal(err)
+	}
+	want := ch.Stats()
+
+	w0, w1 := twoProcessWorlds(t, opts)
+	errs := make(chan error, 2)
+	go func() { errs <- w0.RunE(pattern) }()
+	go func() { errs <- w1.RunE(pattern) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	merged := Stats{PerRank: []RankTraffic{w0.Stats().PerRank[0], w1.Stats().PerRank[1]}}
+	for _, rt := range merged.PerRank {
+		merged.BlockingSends += rt.BlockingSends
+		merged.OverlappedSends += rt.OverlappedSends
+		merged.Recvs += rt.Recvs
+		merged.ValuesRecvd += rt.ValuesRecvd
+		merged.SendRetries += rt.SendRetries
+		merged.Messages += rt.BlockingSends + rt.OverlappedSends
+		merged.Values += rt.Values
+	}
+	if !reflect.DeepEqual(merged, want) {
+		t.Fatalf("merged two-process stats differ from channel run:\n got %+v\nwant %+v", merged, want)
+	}
+}
+
+// TestTCPPeerLossSurfacesAsFault pins connection-loss semantics: a peer
+// that never comes back within PeerWait becomes the run's primary
+// error (a transport failure), not a watchdog panic or a hang.
+func TestTCPPeerLossSurfacesAsFault(t *testing.T) {
+	opts := Options{Watchdog: 30 * time.Second}
+	addrs := map[int]string{}
+	m0, err := NewTCPMesh(TCPConfig{Size: 2, Local: []int{0}, Addrs: addrs, PeerWait: 300 * time.Millisecond, Heartbeat: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := NewTCPMesh(TCPConfig{Size: 2, Local: []int{1}, Addrs: addrs, PeerWait: 300 * time.Millisecond, Heartbeat: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs[0] = m0.Addr()
+	addrs[1] = m1.Addr()
+	w0 := NewRemoteWorld(2, []int{0}, opts, m0)
+	t.Cleanup(func() { w0.Close() })
+
+	// Rank 1's process dies immediately and never returns.
+	m1.Close()
+
+	err = w0.RunE(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 4, []float64{1})
+			c.Recv(1, 4)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "transport failure") {
+		t.Fatalf("expected a transport-failure error, got: %v", err)
+	}
+}
+
+// TestStreamCountsRoundTrip pins the checkpoint coordinate system:
+// consumed counts snapshot deterministically and seed a fresh world's
+// matchers so the next arriving frame numbers correctly.
+func TestStreamCountsRoundTrip(t *testing.T) {
+	w := NewWorld(2)
+	if err := w.RunE(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 3, []float64{1})
+			c.Send(1, 3, []float64{2})
+			c.Send(1, 9, []float64{3})
+		} else {
+			c.Recv(0, 3)
+			c.Recv(0, 3)
+			c.Recv(0, 9)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := w.StreamCounts(1)
+	want := []StreamPos{{Src: 0, Tag: 3, Count: 2}, {Src: 0, Tag: 9, Count: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream counts: got %+v want %+v", got, want)
+	}
+
+	w2 := NewWorld(2)
+	w2.RestoreStreams(1, got)
+	// After restore, a send numbered as the third frame of stream (0,3)
+	// must match the first Recv.
+	if err := w2.RunE(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 3, []float64{42})
+		} else {
+			if v := c.Recv(0, 3); v[0] != 42 {
+				panic("restored stream did not match")
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package mpi
+
+import "time"
+
+// Transport is the runtime's wire seam: everything between a sender's
+// completed injection (traffic counters bumped, fault perturbations and
+// modelled wire cost paid) and the receiver's mailbox. The default
+// channel fabric delivers synchronously in-process; the TCP mesh puts
+// real bytes on a socket (see tcp.go) and a process-per-rank deployment
+// spans machines with the same interface (cmd/tilerankd).
+//
+// Contract:
+//
+//   - Deliver moves one message src→dst. Ownership of data transfers
+//     through the transport to the receiving mailbox — the pooled
+//     zero-copy buffers of SendOwned/IsendOwned flow through unchanged
+//     on the channel fabric, and are marshalled once on wire-backed
+//     transports.
+//   - Per-(src, dst) FIFO: messages delivered on one directed link
+//     arrive in Deliver order, which preserves the per-(src, dst, tag)
+//     stream ordering every Recv matcher relies on.
+//   - Completion: a transport may return from Deliver before the
+//     message reaches the mailbox, but must then report Busy() until it
+//     does (or until the frame is irrevocably handed to the OS on a
+//     cross-process link) — the deadlock watchdog treats wire activity
+//     like nicBusy, never as a stall.
+//   - Flush(src) blocks until every frame rank src has delivered is out
+//     of the transport's own buffers (arrived in-process, written to
+//     the socket cross-process). Checkpointing flushes before taking a
+//     snapshot so "sent before the snapshot" is well defined.
+//   - Reset returns the transport to its just-constructed state between
+//     runs (World.Reset): any in-flight frame from the previous run is
+//     quiesced and discarded, never delivered into the next run's
+//     mailboxes.
+//   - Close releases sockets and goroutines; the channel fabric has
+//     nothing to release.
+type Transport interface {
+	// Attach binds the transport to the world it delivers into; called
+	// exactly once, by the World constructor, before any Deliver.
+	Attach(w *World)
+	Deliver(src, dst, tag int, data []float64)
+	Flush(src int)
+	Busy() bool
+	Reset()
+	Close() error
+}
+
+// chanFabric is the default in-process transport: Deliver puts the
+// message straight into the destination mailbox on the calling
+// goroutine, exactly the pre-seam behaviour. It is always quiescent
+// (delivery is synchronous), so Flush and Busy are trivial.
+type chanFabric struct{ w *World }
+
+func (f *chanFabric) Attach(w *World) { f.w = w }
+
+func (f *chanFabric) Deliver(src, dst, tag int, data []float64) {
+	f.w.arrive(src, dst, tag, data)
+}
+
+func (f *chanFabric) Flush(int) {}
+
+func (f *chanFabric) Busy() bool { return false }
+
+func (f *chanFabric) Reset() {}
+
+func (f *chanFabric) Close() error { return nil }
+
+// arrive is the receive side of every transport: it stamps the
+// delivery time, counts global progress (a delivery is the watchdog's
+// strongest liveness signal) and enqueues into the destination mailbox.
+func (w *World) arrive(src, dst, tag int, data []float64) {
+	w.progress.Add(1)
+	w.boxes[dst].put(Message{Source: src, Tag: tag, Delivered: time.Now(), Data: data})
+}
+
+// WireKind names a transport family for the seams that construct worlds
+// on behalf of callers (exec.RunOptions.Wire, the serve world pool).
+type WireKind int
+
+const (
+	// WireChannel is the default in-process channel fabric.
+	WireChannel WireKind = iota
+	// WireTCP is the loopback TCP mesh: every message crosses a real
+	// socket with length-prefixed framing and coalesced batched writes.
+	WireTCP
+)
+
+func (k WireKind) String() string {
+	switch k {
+	case WireChannel:
+		return "channel"
+	case WireTCP:
+		return "tcp"
+	default:
+		return "unknown"
+	}
+}

@@ -102,6 +102,12 @@ type Server struct {
 	mux    *http.ServeMux
 	eps    map[string]*endpointStats
 
+	// drainMu serializes run registration against Drain's flag flip:
+	// checking draining and joining the runs WaitGroup must be atomic,
+	// or a run admitted between Drain's Store and its Wait would race
+	// the Wait (Add-after-Wait is a WaitGroup misuse) and outlive the
+	// drain. beginRun/Drain are the only users.
+	drainMu        sync.Mutex
 	runs           sync.WaitGroup
 	runsDone       atomic.Int64
 	budgetRejected atomic.Int64
@@ -157,11 +163,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// beginRun registers one run against the drain barrier. It returns
+// false — and registers nothing — once Drain has flipped the flag, so
+// no run can slip past a Wait already in progress.
+func (s *Server) beginRun() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.runs.Add(1)
+	return true
+}
+
 // Drain stops admitting new runs and waits (up to ctx) for in-flight
 // runs to finish. Compile-only endpoints keep working; /healthz flips
 // to 503 so load balancers rotate the instance out.
 func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
 	s.draining.Store(true)
+	s.drainMu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.runs.Wait()
@@ -386,18 +407,26 @@ type runRequest struct {
 	// tile (the measured simnet.Event) as it happens, then one final
 	// line carrying the runResponse.
 	Stream bool `json:"stream,omitempty"`
+	// Transport selects the wire family the run's ranks communicate
+	// over: "channel" (default — the in-process fabric) or "tcp" (a
+	// loopback TCP mesh; every message crosses a real socket with
+	// framed, coalesced sends). Results and traffic stats are
+	// bit-identical across transports; the knob exists for soak testing
+	// the wire path and for measuring it.
+	Transport string `json:"transport,omitempty"`
 }
 
 // runResponse is the final result of an execution.
 type runResponse struct {
-	Procs    int    `json:"procs"`
-	Tiles    int64  `json:"tiles"`
-	Points   int64  `json:"points"`
-	Messages int64  `json:"messages"`
-	Values   int64  `json:"values"`
-	Checksum string `json:"checksum"`
-	CacheHit bool   `json:"cache_hit"`
-	Overlap  bool   `json:"overlap"`
+	Procs     int    `json:"procs"`
+	Tiles     int64  `json:"tiles"`
+	Points    int64  `json:"points"`
+	Messages  int64  `json:"messages"`
+	Values    int64  `json:"values"`
+	Checksum  string `json:"checksum"`
+	CacheHit  bool   `json:"cache_hit"`
+	Overlap   bool   `json:"overlap"`
+	Transport string `json:"transport"`
 }
 
 // streamLine is one NDJSON line of a streamed run: either a tile/fault
@@ -420,6 +449,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, "bad fault plan: %v", err)
 	}
+	var wire mpi.WireKind
+	switch req.Transport {
+	case "", "channel":
+		wire = mpi.WireChannel
+	case "tcp":
+		wire = mpi.WireTCP
+	default:
+		return writeError(w, http.StatusBadRequest,
+			"unknown transport %q (want \"channel\" or \"tcp\")", req.Transport)
+	}
 	art, hit, err := s.artifact(req.Source)
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, "%v", err)
@@ -441,19 +480,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
 	release, err := s.adm.acquire(r.Context())
 	if err != nil {
 		if err == errBusy {
-			w.Header().Set("Retry-After",
-				strconv.Itoa(int((s.adm.retryAfter+time.Second-1)/time.Second)))
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.adm.retryAfter)))
 			return writeError(w, http.StatusTooManyRequests, "%v", err)
 		}
 		return writeError(w, http.StatusRequestTimeout, "canceled while queued: %v", err)
 	}
-	// Re-check after the possibly long queue wait so Drain isn't raced
-	// by queued work admitted after it flipped the flag.
-	if s.draining.Load() {
+	// Register against the drain barrier after the possibly long queue
+	// wait; beginRun atomically re-checks the flag so queued work can't
+	// be admitted behind a Drain already waiting.
+	if !s.beginRun() {
 		release()
 		return writeError(w, http.StatusServiceUnavailable, "server is draining")
 	}
-	s.runs.Add(1)
 	defer func() {
 		release()
 		s.runs.Done()
@@ -470,11 +508,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
 	if req.CheckpointEvery > 0 {
 		opt.Checkpoint = &exec.CheckpointOptions{Every: req.CheckpointEvery}
 	}
-	world := s.worlds.get(art.Procs)
+	world, err := s.worlds.get(art.Procs, wire)
+	if err != nil {
+		return writeError(w, http.StatusInternalServerError, "transport: %v", err)
+	}
 	opt.World = world
 
 	if req.Stream {
-		return s.streamRun(w, art, opt, hit, world)
+		return s.streamRun(w, art, opt, hit, world, wire)
 	}
 
 	g, stats, err := art.Prog.RunParallelOpts(opt)
@@ -489,14 +530,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
 		Procs: art.Procs, Tiles: art.Tiles, Points: art.Points,
 		Messages: stats.Messages, Values: stats.Values,
 		Checksum: art.Checksum(g), CacheHit: hit, Overlap: req.Overlap,
+		Transport: wire.String(),
 	})
+}
+
+// retryAfterSeconds renders an admission backoff hint as a Retry-After
+// value. The header speaks integer seconds, and zero means "retry
+// immediately" to most clients — exactly the stampede the hint exists
+// to prevent — so sub-second hints clamp up to 1, never truncate to 0.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // streamRun executes with a live tracer and writes NDJSON progress:
 // each measured tile event the moment its rank records it, then one
 // final result line. The HTTP status is always 200 — errors after the
 // first byte arrive as an error line.
-func (s *Server) streamRun(w http.ResponseWriter, art *Artifact, opt exec.RunOptions, hit bool, world *mpi.World) int {
+func (s *Server) streamRun(w http.ResponseWriter, art *Artifact, opt exec.RunOptions, hit bool, world *mpi.World, wire mpi.WireKind) int {
 	live := make(chan simnet.Event, 1024)
 	tr := exec.NewTracer()
 	tr.Live = live
@@ -548,6 +602,7 @@ func (s *Server) streamRun(w http.ResponseWriter, art *Artifact, opt exec.RunOpt
 				Procs: art.Procs, Tiles: art.Tiles, Points: art.Points,
 				Messages: out.stats.Messages, Values: out.stats.Values,
 				Checksum: art.Checksum(out.g), CacheHit: hit, Overlap: opt.Overlap,
+				Transport: wire.String(),
 			}})
 			return http.StatusOK
 		}
