@@ -17,6 +17,7 @@
 //	clusterbench -execablation    # run blocking vs overlapped in the real runtime
 //	clusterbench -intrabench BENCH_intra.json  # sweep the intra-tile worker pool
 //	clusterbench -wirebench BENCH_wire.json    # ping-pong the wire transports, fit α+β
+//	clusterbench -fig none -wirecheck wirecheck.json  # model-check the resume protocol
 //	clusterbench -trace out.json  # trace the real runtime, export Chrome JSON
 //	clusterbench -gantt           # text Gantt of the measured SOR timeline
 //	clusterbench -faults          # fault-injection degradation, measured vs predicted
@@ -34,6 +35,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +44,7 @@ import (
 
 	"tilespace/internal/bench"
 	"tilespace/internal/simnet"
+	"tilespace/internal/verify/wirecheck"
 )
 
 func main() {
@@ -58,6 +61,7 @@ func main() {
 		faultTr  = flag.String("faulttrace", "", "with -faults: write the measured crash-restart timeline as Chrome trace_event JSON to this path")
 		servePth = flag.String("serve", "", "load-test the tiling service (cold compile vs shared plan cache) and write the JSON snapshot to this path (e.g. BENCH_serve.json)")
 		wirePth  = flag.String("wirebench", "", "ping-pong the wire transports (in-process channel, loopback TCP), fit per-message and per-value costs against the simnet model, and write the JSON snapshot to this path (e.g. BENCH_wire.json)")
+		wireChk  = flag.String("wirecheck", "", "exhaustively model-check the TCP resume protocol (certification matrix plus seeded mutations) and write the JSON report to this path (e.g. wirecheck.json)")
 		outPath  = flag.String("o", "", "also write the report to this file")
 	)
 	flag.Parse()
@@ -158,6 +162,108 @@ func main() {
 
 	if *wirePth != "" {
 		runWireBench(out, *wirePth)
+	}
+
+	if *wireChk != "" {
+		runWireCheck(out, *wireChk)
+	}
+}
+
+// wirecheckReport is the committed/artifacted shape of one full
+// certification run: every matrix configuration exhausted, every seeded
+// mutation rejected with its counterexample trace.
+type wirecheckReport struct {
+	Matrix    []wirecheckConfigReport   `json:"matrix"`
+	Mutations []wirecheckMutationReport `json:"mutations"`
+	Ok        bool                      `json:"ok"`
+}
+
+type wirecheckConfigReport struct {
+	Name        string  `json:"name"`
+	States      int     `json:"states"`
+	Transitions int     `json:"transitions"`
+	Detected    int     `json:"detected_failures,omitempty"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	Ok          bool    `json:"ok"`
+	Truncated   bool    `json:"truncated,omitempty"`
+	Violation   string  `json:"violation,omitempty"`
+}
+
+type wirecheckMutationReport struct {
+	Name      string  `json:"name"`
+	States    int     `json:"states"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Rejected  bool    `json:"rejected"`
+	Invariant string  `json:"invariant,omitempty"`
+	Trace     string  `json:"trace,omitempty"`
+}
+
+// runWireCheck exhaustively model-checks the resume protocol: the
+// default matrix must certify (no violation, no truncation) and every
+// seeded mutation must be rejected with a concrete counterexample. Any
+// other outcome fails the command; the JSON report is written either
+// way so CI can archive the trace.
+func runWireCheck(out io.Writer, path string) {
+	rep := wirecheckReport{Ok: true}
+	fmt.Fprintf(out, "== wirecheck: resume-protocol certification ==\n")
+	for _, mc := range wirecheck.DefaultMatrix() {
+		start := time.Now()
+		res := wirecheck.Check(mc.Cfg)
+		cr := wirecheckConfigReport{
+			Name: mc.Name, States: res.States, Transitions: res.Transitions,
+			Detected:  res.DetectedFailures,
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+			Ok:        res.Ok(), Truncated: res.Truncated,
+		}
+		if res.Violation != nil {
+			cr.Violation = res.Violation.String()
+		}
+		rep.Matrix = append(rep.Matrix, cr)
+		verdict := "certified"
+		if !cr.Ok {
+			verdict = "FAILED"
+			rep.Ok = false
+		}
+		fmt.Fprintf(out, "%-26s %9d states %10d transitions %8.0fms  %s\n",
+			mc.Name, res.States, res.Transitions, cr.ElapsedMS, verdict)
+		if cr.Violation != "" {
+			fmt.Fprintf(os.Stderr, "clusterbench: wirecheck: %s:\n%s\n", mc.Name, cr.Violation)
+		}
+	}
+	for _, m := range wirecheck.Mutations() {
+		start := time.Now()
+		res := wirecheck.Check(m.Cfg)
+		mr := wirecheckMutationReport{
+			Name: m.Name, States: res.States,
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+			Rejected:  res.Violation != nil,
+		}
+		verdict := "MUTATION SURVIVED"
+		if res.Violation != nil {
+			mr.Invariant = res.Violation.Invariant
+			mr.Trace = res.Violation.String()
+			verdict = fmt.Sprintf("rejected (%s, %d-step trace)", mr.Invariant, len(res.Violation.Steps))
+		} else {
+			rep.Ok = false
+			fmt.Fprintf(os.Stderr, "clusterbench: wirecheck: mutation %s certified cleanly — the protocol core no longer depends on this decision\n", m.Name)
+		}
+		rep.Mutations = append(rep.Mutations, mr)
+		fmt.Fprintf(out, "%-26s %9d states  %s\n", "mutation:"+m.Name, res.States, verdict)
+	}
+	fmt.Fprintln(out)
+
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: wirecheck: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(js, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: wirecheck: %v\n", err)
+		os.Exit(1)
+	}
+	if !rep.Ok {
+		fmt.Fprintf(os.Stderr, "clusterbench: wirecheck: certification FAILED (report in %s)\n", path)
+		os.Exit(1)
 	}
 }
 

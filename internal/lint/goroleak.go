@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak flags `go` statements that spawn provably join-free
+// goroutines: no WaitGroup.Done, no channel operation (send, receive,
+// close, range, select), reachable anywhere in the spawned body or in
+// any same-package function it calls, transitively. Such a goroutine
+// has no way to signal completion or be torn down, so nothing can ever
+// wait for it — the classic leak that shows up as a lingering worker
+// after Close.
+//
+// The check is deliberately one-sided: any call it cannot fully resolve
+// (cross-package, func value, method value) is assumed to join, so a
+// report means every path of the goroutine was inspected and none
+// touches a synchronization point. Zero false positives, at the cost of
+// missing leaks hidden behind external calls.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "flags go statements spawning goroutines with no reachable join or teardown path",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	// Named-function bodies, keyed like lockorder's call graph.
+	bodies := map[string]*ast.BlockStmt{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				bodies[funcKey(fd)] = fd.Body
+			}
+		}
+	}
+
+	// mayJoin[key]: the function contains a join marker, or calls
+	// something that might. Monotone fixpoint from "no".
+	mayJoin := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for key, body := range bodies {
+			if mayJoin[key] {
+				continue
+			}
+			if bodyMayJoin(pass, body, bodies, mayJoin) {
+				mayJoin[key] = true
+				changed = true
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !spawnMayJoin(pass, g.Call, bodies, mayJoin) {
+				pass.Reportf(g.Pos(), "goroutine has no reachable join or teardown path (no Done, channel op, close or select anywhere it can run) — it can leak")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spawnMayJoin decides one go statement's target.
+func spawnMayJoin(pass *Pass, call *ast.CallExpr, bodies map[string]*ast.BlockStmt, mayJoin map[string]bool) bool {
+	// Arguments are evaluated in the spawning goroutine, but a channel
+	// passed as an argument is almost always the join path — treat the
+	// whole call expression as the unit.
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return bodyMayJoin(pass, lit.Body, bodies, mayJoin)
+	}
+	if key, ok := calleeKey(pass, call); ok {
+		if _, have := bodies[key]; have {
+			return mayJoin[key]
+		}
+	}
+	return true // unresolvable: assume it joins
+}
+
+// bodyMayJoin scans one body for a direct marker or a call that might
+// join. Nested function literals count: a goroutine that defines and
+// runs a joining closure is joined.
+func bodyMayJoin(pass *Pass, body *ast.BlockStmt, bodies map[string]*ast.BlockStmt, mayJoin map[string]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.Types[x.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if name, _ := methodName(x); name == "Done" || name == "Wait" {
+				found = true
+				return false
+			}
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+					return false
+				}
+			}
+			if key, ok := calleeKey(pass, x); ok {
+				if _, have := bodies[key]; have {
+					if mayJoin[key] {
+						found = true
+					}
+					return true // resolved same-package call: its verdict is the map's
+				}
+				found = true // declared without a body here: assume it joins
+				return false
+			}
+			if resolvedPure(pass, x) {
+				return true // builtin or conversion: cannot join
+			}
+			found = true // unresolvable call: assume it joins
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// resolvedPure reports calls that definitely cannot synchronize:
+// builtins other than close (close is handled above) and type
+// conversions.
+func resolvedPure(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch pass.Info.Uses[fun].(type) {
+		case *types.Builtin, *types.TypeName:
+			return true
+		}
+	case *ast.SelectorExpr:
+		if _, ok := pass.Info.Uses[fun.Sel].(*types.TypeName); ok {
+			return true
+		}
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.InterfaceType, *ast.StarExpr, *ast.FuncType:
+		return true
+	}
+	return false
+}

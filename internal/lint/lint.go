@@ -56,7 +56,7 @@ type Analyzer struct {
 
 // All returns every analyzer tilevet enforces.
 func All() []*Analyzer {
-	return []*Analyzer{OwnedBuf, WaitCheck, TraceGuard}
+	return []*Analyzer{OwnedBuf, WaitCheck, TraceGuard, LockOrder, GoroLeak, SendStats}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).

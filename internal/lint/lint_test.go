@@ -80,9 +80,15 @@ func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[stri
 // negatives).
 func runFixture(t *testing.T, a *Analyzer) {
 	t.Helper()
-	dir := filepath.Join("testdata", a.Name)
+	runFixtureDir(t, filepath.Join("testdata", a.Name), []*Analyzer{a})
+}
+
+// runFixtureDir runs a set of analyzers over one fixture directory and
+// checks diagnostics against the want comments.
+func runFixtureDir(t *testing.T, dir string, analyzers []*Analyzer) {
+	t.Helper()
 	fset, files, pkg, info := typecheckDir(t, dir)
-	diags, err := Run(fset, files, pkg, info, []*Analyzer{a})
+	diags, err := Run(fset, files, pkg, info, analyzers)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,6 +118,16 @@ func runFixture(t *testing.T, a *Analyzer) {
 func TestOwnedBufFixture(t *testing.T)   { runFixture(t, OwnedBuf) }
 func TestWaitCheckFixture(t *testing.T)  { runFixture(t, WaitCheck) }
 func TestTraceGuardFixture(t *testing.T) { runFixture(t, TraceGuard) }
+func TestLockOrderFixture(t *testing.T)  { runFixture(t, LockOrder) }
+func TestGoroLeakFixture(t *testing.T)   { runFixture(t, GoroLeak) }
+func TestSendStatsFixture(t *testing.T)  { runFixture(t, SendStats) }
+
+// TestIgnoreDirectives runs every analyzer over the ignore fixture: the
+// want comments there encode which findings survive multi-analyzer
+// directives, wrapped statements, and out-of-reach directives.
+func TestIgnoreDirectives(t *testing.T) {
+	runFixtureDir(t, filepath.Join("testdata", "ignore"), All())
+}
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")

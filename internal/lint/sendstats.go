@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SendStats enforces counter ownership. A struct field annotated
+//
+//	//sendstats:owned Owner1,Owner2
+//
+// (on the field, or on the struct type to cover every field) may be
+// mutated only inside methods whose receiver type is one of the named
+// owners. Mutation means an atomic Add/Store/Swap/CompareAndSwap on the
+// field, or a plain assignment/IncDec to it. Reads (Load, plain use)
+// are free for everyone.
+//
+// This is the static form of the transport's accounting contract: the
+// Stats counters in TCPMesh and the traffic counters in World are
+// written only on the side that owns the event (sender-side frames by
+// the sender's link goroutines, receive-side by the inbound link), so a
+// counter can never double-count because some helper far from the wire
+// "helpfully" bumped it too. Function literals inherit the enclosing
+// method's receiver — a writer goroutine spawned by an owner is still
+// the owner.
+var SendStats = &Analyzer{
+	Name: "sendstats",
+	Doc:  "flags mutations of //sendstats:owned counters outside their owning types",
+	Run:  runSendStats,
+}
+
+var atomicMutators = map[string]bool{"Add": true, "Store": true, "Swap": true, "CompareAndSwap": true}
+
+func runSendStats(pass *Pass) error {
+	owned := collectOwned(pass)
+	if len(owned) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			owner := ""
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				t := fd.Recv.List[0].Type
+				if star, ok := t.(*ast.StarExpr); ok {
+					t = star.X
+				}
+				if id, ok := t.(*ast.Ident); ok {
+					owner = id.Name
+				}
+			}
+			checkMutations(pass, fd.Body, owner, fd.Name.Name, owned)
+		}
+	}
+	return nil
+}
+
+// collectOwned maps "Type.field" to its owner set from the annotations.
+func collectOwned(pass *Pass) map[string]map[string]bool {
+	owned := map[string]map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				structOwners := ownersFrom(ts.Doc)
+				if structOwners == nil && len(gd.Specs) == 1 {
+					structOwners = ownersFrom(gd.Doc)
+				}
+				for _, field := range st.Fields.List {
+					fieldOwners := ownersFrom(field.Doc)
+					if fieldOwners == nil {
+						fieldOwners = ownersFrom(field.Comment)
+					}
+					if fieldOwners == nil {
+						fieldOwners = structOwners
+					}
+					if fieldOwners == nil {
+						continue
+					}
+					for _, name := range field.Names {
+						owned[ts.Name.Name+"."+name.Name] = fieldOwners
+					}
+				}
+			}
+		}
+	}
+	return owned
+}
+
+// ownersFrom parses a //sendstats:owned directive out of a comment group.
+func ownersFrom(cg *ast.CommentGroup) map[string]bool {
+	if cg == nil {
+		return nil
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if !strings.HasPrefix(text, "sendstats:owned ") {
+			continue
+		}
+		out := map[string]bool{}
+		for _, n := range strings.Split(strings.TrimSpace(strings.TrimPrefix(text, "sendstats:owned ")), ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				out[n] = true
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+	return nil
+}
+
+// checkMutations walks one function body; FuncLits inherit owner.
+func checkMutations(pass *Pass, body *ast.BlockStmt, owner, funcName string, owned map[string]map[string]bool) {
+	report := func(pos ast.Node, class string, owners map[string]bool) {
+		where := "function " + funcName
+		if owner != "" {
+			where = "method of " + owner
+		}
+		pass.Reportf(pos.Pos(), "counter %s is owned by %s (sendstats:owned) but mutated in %s", class, strings.Join(sortedKeys(owners), ","), where)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok || !atomicMutators[sel.Sel.Name] {
+				return true
+			}
+			if class, owners, ok := ownedField(pass, sel.X, owned); ok && !owners[owner] {
+				report(x, class, owners)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if class, owners, ok := ownedField(pass, lhs, owned); ok && !owners[owner] {
+					report(lhs, class, owners)
+				}
+			}
+		case *ast.IncDecStmt:
+			if class, owners, ok := ownedField(pass, x.X, owned); ok && !owners[owner] {
+				report(x, class, owners)
+			}
+		}
+		return true
+	})
+}
+
+// ownedField resolves expr as a selector onto an annotated field.
+func ownedField(pass *Pass, expr ast.Expr, owned map[string]map[string]bool) (string, map[string]bool, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, false
+	}
+	base := namedTypeName(pass.Info.Types[sel.X].Type)
+	if base == "" {
+		return "", nil, false
+	}
+	class := base + "." + sel.Sel.Name
+	owners, ok := owned[class]
+	return class, owners, ok
+}

@@ -1,0 +1,95 @@
+// Package fixture exercises the goroleak analyzer. Import-free: the
+// WaitGroup stand-in matches by method name, channels are real.
+package fixture
+
+type WaitGroup struct{ _ int }
+
+func (w *WaitGroup) Add(n int) {}
+func (w *WaitGroup) Done()     {}
+func (w *WaitGroup) Wait()     {}
+
+// leaky spawns pure computation: no join path at all.
+func leaky() {
+	x := 0
+	go func() { // want "no reachable join or teardown path"
+		x++
+	}()
+	_ = x
+}
+
+// Every channel operation counts as a join path.
+func viaChan(ch chan int) {
+	go func() { ch <- 1 }()
+	go func() { <-ch }()
+	go func() { close(ch) }()
+	go func() {
+		for range ch {
+		}
+	}()
+	go func() {
+		select {
+		case <-ch:
+		default:
+		}
+	}()
+}
+
+func viaDone(wg *WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Named spawn targets resolve through the package call graph.
+func pureHelper() int { return 41 + 1 }
+
+func namedLeakTarget() { _ = pureHelper() }
+
+func spawnNamedLeak() {
+	go namedLeakTarget() // want "no reachable join or teardown path"
+}
+
+func joinHelper(ch chan int) { ch <- 1 }
+
+func deepJoinTarget(ch chan int) { joinHelper(ch) }
+
+func spawnNamedJoin(ch chan int) {
+	go deepJoinTarget(ch) // joins two calls deep
+}
+
+// Methods resolve the same way.
+type Worker struct{ ch chan int }
+
+func (w *Worker) run()  { <-w.ch }
+func (w *Worker) spin() { _ = pureHelper() }
+
+func (w *Worker) start() {
+	go w.run()
+}
+
+func (w *Worker) startLeak() {
+	go w.spin() // want "no reachable join or teardown path"
+}
+
+// A goroutine defining and running a joining closure is joined; an
+// unresolvable call (func value) is conservatively assumed to join.
+func closureInside(ch chan int) {
+	go func() {
+		f := func() { ch <- 1 }
+		f()
+	}()
+}
+
+func funcValue(f func()) {
+	go func() { f() }() // f could join: assumed fine
+}
+
+// Mutual recursion with no marker anywhere still converges to "leaks".
+func pingPongA() { pingPongB() }
+func pingPongB() { pingPongA() }
+
+func spawnRecursive() {
+	go pingPongA() // want "no reachable join or teardown path"
+}

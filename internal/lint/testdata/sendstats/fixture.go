@@ -1,0 +1,87 @@
+// Package fixture exercises the sendstats analyzer. Int64 stands in for
+// sync/atomic's: the analyzer matches mutator method names, not the
+// atomic package.
+package fixture
+
+type Int64 struct{ v int64 }
+
+func (i *Int64) Add(d int64)                    {}
+func (i *Int64) Store(d int64)                  {}
+func (i *Int64) Swap(d int64) int64             { return 0 }
+func (i *Int64) CompareAndSwap(o, n int64) bool { return false }
+func (i *Int64) Load() int64                    { return i.v }
+
+type Stats struct {
+	//sendstats:owned Stats,Sender
+	sent Int64
+	recv int64 //sendstats:owned Stats
+	free int64
+}
+
+// Owners mutate freely.
+func (s *Stats) bump() {
+	s.sent.Add(1)
+	s.recv++
+}
+
+type Sender struct{ st *Stats }
+
+func (x *Sender) push() {
+	x.st.sent.Add(1) // Sender is in sent's owner list
+}
+
+func (x *Sender) bad() {
+	x.st.recv++ // want "counter Stats.recv is owned by Stats .sendstats:owned. but mutated in method of Sender"
+}
+
+// Free functions own nothing.
+func rogue(s *Stats) {
+	s.sent.Add(1) // want "counter Stats.sent is owned by Sender,Stats .sendstats:owned. but mutated in function rogue"
+}
+
+// Unannotated fields and reads are unrestricted.
+func anyone(s *Stats) {
+	s.free = 9
+	_ = s.sent.Load()
+	_ = s.recv
+}
+
+type Reader struct{ st *Stats }
+
+func (r *Reader) peek() int64 { return r.st.sent.Load() }
+
+func (r *Reader) clobber() {
+	r.st.sent.Store(0) // want "counter Stats.sent is owned by Sender,Stats"
+}
+
+func (r *Reader) assign() {
+	r.st.recv = 7 // want "counter Stats.recv is owned by Stats"
+}
+
+// A struct-level directive covers every field.
+
+//sendstats:owned Hub
+type Counters struct {
+	hits  Int64
+	drops int64
+}
+
+type Hub struct{ c Counters }
+
+func (h *Hub) note() {
+	h.c.hits.Add(1)
+	h.c.drops++
+}
+
+// FuncLits inherit the enclosing method's receiver: a goroutine spawned
+// by the owner is still the owner.
+func (h *Hub) noteAsync(done chan struct{}) {
+	go func() {
+		h.c.hits.Add(1)
+		close(done)
+	}()
+}
+
+func elsewhere(h *Hub) {
+	h.c.drops++ // want "counter Counters.drops is owned by Hub .sendstats:owned. but mutated in function elsewhere"
+}

@@ -142,7 +142,10 @@ func decodeDataFrame(body []byte) (dataFrame, error) {
 	f.seq = binary.LittleEndian.Uint64(b[8:])
 	nvals := binary.LittleEndian.Uint32(b[16:])
 	b = b[20:]
-	if uint32(len(b)) != 8*nvals {
+	// Compare in 64 bits: 8*nvals wraps uint32 for nvals ≥ 2^29, which
+	// would let a corrupt header pass the check and drive a giant
+	// allocation below.
+	if uint64(len(b)) != 8*uint64(nvals) {
 		return f, fmt.Errorf("mpi: data frame payload %d bytes, want %d values", len(b), nvals)
 	}
 	if nvals > 0 {
@@ -169,7 +172,9 @@ func decodeWelcomeFrame(body []byte) (map[int]uint64, error) {
 	}
 	n := binary.LittleEndian.Uint32(body[1:])
 	b := body[5:]
-	if uint32(len(b)) != 12*n {
+	// Compare in 64 bits: 12*n wraps uint32 for n ≥ 2^28+…, which would
+	// let a corrupt header pass the check and index past the body.
+	if uint64(len(b)) != 12*uint64(n) {
 		return nil, fmt.Errorf("mpi: welcome frame %d bytes for %d streams", len(body), n)
 	}
 	counts := make(map[int]uint64, n)

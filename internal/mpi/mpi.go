@@ -244,7 +244,12 @@ type Stats struct {
 	PerRank         []RankTraffic
 }
 
-// rankCounters is the mutable form of RankTraffic.
+// rankCounters is the mutable form of RankTraffic. Every field is
+// written only by World methods (deliver, noteRecv, the reset loop and
+// the fault injector) so per-rank traffic can never double-count;
+// sendstats enforces that ownership statically.
+//
+//sendstats:owned World
 type rankCounters struct {
 	blocking    atomic.Int64
 	overlapped  atomic.Int64
@@ -279,8 +284,10 @@ type World struct {
 	failMu  sync.Mutex
 	failErr error
 
-	messages atomic.Int64
-	values   atomic.Int64
+	// Global traffic counters, bumped exactly once per message on the
+	// send side (World.deliver) — transports must never touch them.
+	messages atomic.Int64 //sendstats:owned World
+	values   atomic.Int64 //sendstats:owned World
 	perRank  []rankCounters
 
 	// Watchdog progress observation (see Options.Watchdog): progress is

@@ -135,16 +135,20 @@ type TCPMesh struct {
 	// awaiting a peer's return — wire activity, never a stall.
 	down atomic.Int64
 
-	sFramesSent  atomic.Int64
-	sBytesSent   atomic.Int64
-	sBatches     atomic.Int64
-	sFramesRecvd atomic.Int64
-	sSuppressed  atomic.Int64
-	sDuplicates  atomic.Int64
-	sResent      atomic.Int64
-	sReconnects  atomic.Int64
-	sHeartbeats  atomic.Int64
-	sStale       atomic.Int64
+	// Wire statistics. Send-side counters are bumped by the owning
+	// link's writer goroutine, receive-side by the mesh's inbound frame
+	// handlers; nothing outside the transport may mutate them
+	// (sendstats enforces this).
+	sFramesSent  atomic.Int64 //sendstats:owned TCPMesh,outLink,inLink
+	sBytesSent   atomic.Int64 //sendstats:owned TCPMesh,outLink,inLink
+	sBatches     atomic.Int64 //sendstats:owned TCPMesh,outLink,inLink
+	sFramesRecvd atomic.Int64 //sendstats:owned TCPMesh,outLink,inLink
+	sSuppressed  atomic.Int64 //sendstats:owned TCPMesh,outLink,inLink
+	sDuplicates  atomic.Int64 //sendstats:owned TCPMesh,outLink,inLink
+	sResent      atomic.Int64 //sendstats:owned TCPMesh,outLink,inLink
+	sReconnects  atomic.Int64 //sendstats:owned TCPMesh,outLink,inLink
+	sHeartbeats  atomic.Int64 //sendstats:owned TCPMesh,outLink,inLink
+	sStale       atomic.Int64 //sendstats:owned TCPMesh,outLink,inLink
 }
 
 // NewTCPMesh opens the process's listener and prepares the mesh; link
@@ -281,8 +285,10 @@ func (w *World) WireStats() (WireStats, bool) {
 // Sender side.
 
 // outLink is the sending endpoint of one directed link: a frame queue,
-// a writer goroutine, stream sequence state and the retained archive
-// the resume protocol resends from.
+// a writer goroutine, and the sender half of the resume protocol
+// (sequence stamping, retained archive, suppression) — all protocol
+// decisions are delegated to the SendCore, the same pure core
+// verify/wirecheck certifies exhaustively.
 type outLink struct {
 	m    *TCPMesh
 	id   linkID
@@ -295,9 +301,7 @@ type outLink struct {
 	conn     net.Conn
 	connDead bool
 	everUp   bool
-	sent     map[int]uint64 // next seq per tag
-	peerArr  map[int]uint64 // receiver's accepted counts at last handshake
-	retained []wireFrame    // data frames handed to the writer, in order
+	proto    *SendCore // resume-protocol sender state, guarded by mu
 	// epochMark is the newest Reset marker this link still owes the
 	// peer. Unlike data frames it carries no stream sequence, so the
 	// retained-frame machinery can't replay it; the reconnect handshake
@@ -313,7 +317,7 @@ func (m *TCPMesh) out(id linkID) *outLink {
 	defer m.mu.Unlock()
 	l := m.outs[id]
 	if l == nil {
-		l = &outLink{m: m, id: id, addr: m.addrOf(id.dst), sent: map[int]uint64{}}
+		l = &outLink{m: m, id: id, addr: m.addrOf(id.dst), proto: NewSendCore(ProtocolRules{})}
 		l.cond = sync.NewCond(&l.mu)
 		m.outs[id] = l
 		m.wg.Add(1)
@@ -328,8 +332,7 @@ func (m *TCPMesh) out(id linkID) *outLink {
 func (m *TCPMesh) Deliver(src, dst, tag int, data []float64) {
 	l := m.out(linkID{src, dst})
 	l.mu.Lock()
-	seq := l.sent[tag]
-	l.sent[tag] = seq + 1
+	seq := l.proto.Stamp(tag)
 	fr := wireFrame{
 		kind: frameData,
 		tag:  tag,
@@ -401,7 +404,7 @@ func (l *outLink) takeBatch() ([]wireFrame, bool) {
 	l.pending = len(batch)
 	for _, fr := range batch {
 		if fr.kind == frameData {
-			l.retained = append(l.retained, fr)
+			l.proto.Retain(fr.tag, fr.seq, fr)
 		}
 	}
 	return batch, true
@@ -412,13 +415,11 @@ func (l *outLink) takeBatch() ([]wireFrame, bool) {
 // are already retained, so the reconnect handshake redelivers whatever
 // the peer is missing.
 func (l *outLink) writeBatch(conn net.Conn, batch []wireFrame) {
-	l.mu.Lock()
-	peerArr := l.peerArr
-	l.mu.Unlock()
 	bufs := make(net.Buffers, 0, len(batch))
 	var kept []wireFrame
+	l.mu.Lock()
 	for _, fr := range batch {
-		if fr.kind == frameData && peerArr != nil && fr.seq < peerArr[fr.tag] {
+		if fr.kind == frameData && !l.proto.ShouldTransmit(fr.tag, fr.seq) {
 			l.m.sSuppressed.Add(1)
 			l.m.settle(fr)
 			continue
@@ -426,6 +427,7 @@ func (l *outLink) writeBatch(conn net.Conn, batch []wireFrame) {
 		kept = append(kept, fr)
 		bufs = append(bufs, fr.buf)
 	}
+	l.mu.Unlock()
 	if len(bufs) > 0 {
 		if _, err := bufs.WriteTo(conn); err != nil {
 			l.mu.Lock()
@@ -550,7 +552,7 @@ func (l *outLink) dialOnce() (net.Conn, error) {
 	}
 	_ = conn.SetDeadline(time.Time{})
 	l.mu.Lock()
-	l.peerArr = counts
+	l.proto.ObserveWelcome(counts)
 	l.mu.Unlock()
 	return conn, nil
 }
@@ -559,13 +561,10 @@ func (l *outLink) dialOnce() (net.Conn, error) {
 // peer has not accepted, in stream order.
 func (l *outLink) resendRetained(conn net.Conn) bool {
 	l.mu.Lock()
+	plan := l.proto.ResendPlan()
 	var resend net.Buffers
-	n := 0
-	for _, fr := range l.retained {
-		if fr.seq >= l.peerArr[fr.tag] {
-			resend = append(resend, fr.buf)
-			n++
-		}
+	for _, fr := range plan {
+		resend = append(resend, fr.Payload.(wireFrame).buf)
 	}
 	// An unconfirmed Reset marker rides behind the data so it still
 	// arrives after any old-epoch traffic; without this a marker lost to
@@ -573,7 +572,7 @@ func (l *outLink) resendRetained(conn net.Conn) bool {
 	if l.epochMark != nil {
 		resend = append(resend, l.epochMark)
 	}
-	retained := l.retained
+	retained := l.proto.RetainedFrames()
 	l.mu.Unlock()
 	if len(resend) == 0 {
 		return true
@@ -587,9 +586,9 @@ func (l *outLink) resendRetained(conn net.Conn) bool {
 		return false
 	}
 	for _, fr := range retained {
-		l.m.settle(fr)
+		l.m.settle(fr.Payload.(wireFrame))
 	}
-	l.m.sResent.Add(int64(n))
+	l.m.sResent.Add(int64(len(plan)))
 	return true
 }
 
@@ -668,20 +667,21 @@ func (m *TCPMesh) Busy() bool {
 // ---------------------------------------------------------------------
 // Receiver side.
 
-// inLink is the receiving endpoint of one directed link: per-tag
-// accepted counts (the dedup watermark the welcome advertises) and the
-// currently adopted connection.
+// inLink is the receiving endpoint of one directed link: the receiver
+// half of the resume protocol (dedup watermarks, gap detection, welcome
+// counts — all decisions delegated to the RecvCore verify/wirecheck
+// certifies), the heartbeat liveness core, and the currently adopted
+// connection.
 type inLink struct {
 	m  *TCPMesh
 	id linkID
 
 	mu        sync.Mutex
-	streams   map[int]uint64
+	proto     *RecvCore // resume-protocol receiver state, guarded by mu
+	hb        BeatCore  // heartbeat liveness state, guarded by mu
 	conn      net.Conn
 	downLink  bool
 	downTimer *time.Timer
-	lastHB    uint64
-	hbSeen    bool
 }
 
 func (m *TCPMesh) in(id linkID) *inLink {
@@ -689,7 +689,7 @@ func (m *TCPMesh) in(id linkID) *inLink {
 	defer m.mu.Unlock()
 	il := m.ins[id]
 	if il == nil {
-		il = &inLink{m: m, id: id, streams: map[int]uint64{}}
+		il = &inLink{m: m, id: id, proto: NewRecvCore(ProtocolRules{})}
 		m.ins[id] = il
 	}
 	return il
@@ -743,7 +743,7 @@ func (m *TCPMesh) serveConn(conn net.Conn) {
 	_ = conn.SetReadDeadline(time.Time{})
 	il := m.in(linkID{src, dst})
 	il.mu.Lock()
-	welcome := encodeWelcomeFrame(il.streams)
+	welcome := encodeWelcomeFrame(il.proto.WelcomeCounts())
 	old := il.conn
 	il.conn = conn
 	if il.downLink {
@@ -788,13 +788,11 @@ func (m *TCPMesh) readLoop(il *inLink, conn net.Conn) {
 			}
 			m.sHeartbeats.Add(1)
 			il.mu.Lock()
-			changed := !il.hbSeen || prog != il.lastHB
-			il.hbSeen = true
-			il.lastHB = prog
+			alive := il.hb.Observe(prog, busy)
 			il.mu.Unlock()
 			// A peer whose progress moved, or that reports live wire or
 			// compute activity, is alive: that is watchdog progress here.
-			if changed || busy {
+			if alive {
 				m.w.NoteProgress()
 			}
 		case frameEpoch:
@@ -808,27 +806,24 @@ func (m *TCPMesh) readLoop(il *inLink, conn net.Conn) {
 // acceptData applies the dedup/ordering protocol and delivers the frame
 // into the destination mailbox.
 func (m *TCPMesh) acceptData(il *inLink, f dataFrame) {
-	// A frame from a dead epoch never reaches a mailbox; its custody
-	// count is resolved by Reset's final zeroing of staged.
-	if f.epoch != m.epoch.Load() {
+	il.mu.Lock()
+	verdict := il.proto.Accept(f.epoch, m.epoch.Load(), f.tag, f.seq)
+	expect := il.proto.Accepted(f.tag)
+	il.mu.Unlock()
+	switch verdict {
+	case VerdictStale:
+		// A frame from a dead epoch never reaches a mailbox; its custody
+		// count is resolved by Reset's final zeroing of staged.
 		m.sStale.Add(1)
 		return
-	}
-	il.mu.Lock()
-	expect := il.streams[f.tag]
-	if f.seq < expect {
-		il.mu.Unlock()
+	case VerdictDuplicate:
 		m.sDuplicates.Add(1)
 		return
-	}
-	if f.seq > expect {
-		il.mu.Unlock()
+	case VerdictGap:
 		m.fail(fmt.Errorf("mpi: link %d→%d tag %d: stream gap (got frame %d, expected %d)",
 			il.id.src, il.id.dst, f.tag, f.seq, expect))
 		return
 	}
-	il.streams[f.tag] = expect + 1
-	il.mu.Unlock()
 	m.sFramesRecvd.Add(1)
 	if m.isLocalRank(il.id.src) {
 		m.staged.Add(-1)
@@ -986,14 +981,12 @@ func (m *TCPMesh) Reset() {
 	m.mu.Lock()
 	for _, l := range m.outs {
 		l.mu.Lock()
-		l.sent = map[int]uint64{}
-		l.retained = nil
-		l.peerArr = nil
+		l.proto.ResetEpoch()
 		l.mu.Unlock()
 	}
 	for _, il := range m.ins {
 		il.mu.Lock()
-		il.streams = map[int]uint64{}
+		il.proto.ResetEpoch()
 		il.mu.Unlock()
 	}
 	m.mu.Unlock()
@@ -1054,7 +1047,7 @@ func (m *TCPMesh) RestoreRecvStreams(dst int, pos []StreamPos) {
 	for _, p := range pos {
 		il := m.in(linkID{p.Src, dst})
 		il.mu.Lock()
-		il.streams[p.Tag] = p.Count
+		il.proto.SeedAccepted(p.Tag, p.Count)
 		il.mu.Unlock()
 	}
 }
@@ -1068,7 +1061,7 @@ func (m *TCPMesh) RestoreSentStreams(src int, pos []StreamPos) {
 	for _, p := range pos {
 		l := m.out(linkID{src, p.Src})
 		l.mu.Lock()
-		l.sent[p.Tag] = p.Count
+		l.proto.SeedSent(p.Tag, p.Count)
 		l.mu.Unlock()
 	}
 }
@@ -1089,12 +1082,11 @@ func (m *TCPMesh) SentStreamCounts(src int) []StreamPos {
 	var out []StreamPos
 	for i, l := range links {
 		l.mu.Lock()
-		for tag, n := range l.sent {
-			if n > 0 {
-				out = append(out, StreamPos{Src: ids[i].dst, Tag: tag, Count: n})
-			}
-		}
+		counts := l.proto.SentCounts()
 		l.mu.Unlock()
+		for _, p := range counts {
+			out = append(out, StreamPos{Src: ids[i].dst, Tag: p.Tag, Count: p.Count})
+		}
 	}
 	sortStreamPos(out)
 	return out
