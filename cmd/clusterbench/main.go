@@ -21,6 +21,7 @@
 //	clusterbench -trace out.json  # trace the real runtime, export Chrome JSON
 //	clusterbench -gantt           # text Gantt of the measured SOR timeline
 //	clusterbench -faults          # fault-injection degradation, measured vs predicted
+//	clusterbench -fig none -dynbench BENCH_dyn.json  # static vs dynamic scheduling under faults
 //	clusterbench -faulttrace f.json  # also export the crash-restart run's timeline
 //	clusterbench -o results.txt   # tee output to a file
 //
@@ -62,6 +63,7 @@ func main() {
 		servePth = flag.String("serve", "", "load-test the tiling service (cold compile vs shared plan cache) and write the JSON snapshot to this path (e.g. BENCH_serve.json)")
 		wirePth  = flag.String("wirebench", "", "ping-pong the wire transports (in-process channel, loopback TCP), fit per-message and per-value costs against the simnet model, and write the JSON snapshot to this path (e.g. BENCH_wire.json)")
 		wireChk  = flag.String("wirecheck", "", "exhaustively model-check the TCP resume protocol (certification matrix plus seeded mutations) and write the JSON report to this path (e.g. wirecheck.json)")
+		dynPth   = flag.String("dynbench", "", "run the static-vs-dynamic scheduling ablation under the fault classes, certify every dynamic firing order, and write the JSON snapshot to this path (e.g. BENCH_dyn.json)")
 		outPath  = flag.String("o", "", "also write the report to this file")
 	)
 	flag.Parse()
@@ -166,6 +168,42 @@ func main() {
 
 	if *wireChk != "" {
 		runWireCheck(out, *wireChk)
+	}
+
+	if *dynPth != "" {
+		runDynBench(out, *dynPth, par)
+	}
+}
+
+// runDynBench runs the static-vs-dynamic fault ablation plus the
+// firing-order certification matrix and writes the committed snapshot.
+// The acceptance bar is enforced here, not only in CI: every run must be
+// bit-identical with a certified firing order, dynamic must never lose to
+// static under a fault, and at least one of the straggler/jittery-link
+// scenarios must recover >= 1.1x makespan.
+func runDynBench(out io.Writer, path string, par simnet.Params) {
+	// Same cost balance as the fault report, scaled into OS-timer range.
+	par.Bandwidth = 3e5
+	par.IterTime = 5e-6
+	e, err := bench.RunDynExperiment(par, 10)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: dynbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprint(out, e.Render())
+	fmt.Fprintln(out)
+	js, err := e.JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: dynbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(js, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: dynbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := e.Gate(); err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: dynbench: gate FAILED (snapshot in %s): %v\n", path, err)
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,383 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"tilespace/internal/apps"
+	"tilespace/internal/distrib"
+	"tilespace/internal/exec"
+	"tilespace/internal/ilin"
+	"tilespace/internal/mpi"
+	"tilespace/internal/simnet"
+	"tilespace/internal/tiling"
+	"tilespace/internal/verify"
+)
+
+// The static-vs-dynamic fault ablation: the hybrid static/dynamic
+// scheduler (exec.RunOptions.Dynamic) claims to recover slack exactly
+// where the PR 5 fault classes create it — stragglers, jittery links,
+// transient send failures, crash-restart — while staying bit-identical to
+// the static path everywhere. This experiment measures all three modes
+// (static blocking, the paper's default executor; static overlap; dynamic)
+// under each fault class, certifies every dynamic firing order via
+// verify.CheckDynamicOrder, and pins the result in BENCH_dyn.json behind
+// clusterbench -dynbench.
+
+// DynAblationRow is one fault scenario's three-way makespan comparison.
+type DynAblationRow struct {
+	Scenario string `json:"scenario"`
+	Procs    int    `json:"procs"`
+
+	StaticBlocking time.Duration `json:"static_blocking_ns"`
+	StaticOverlap  time.Duration `json:"static_overlap_ns"`
+	Dynamic        time.Duration `json:"dynamic_ns"`
+
+	// GainVsBlocking is StaticBlocking / Dynamic — the headline ratio: how
+	// much makespan the dynamic scheduler recovers from the paper's
+	// default (blocking) executor under this fault. GainVsOverlap isolates
+	// the part not explained by asynchronous sends alone.
+	GainVsBlocking float64 `json:"gain_vs_blocking"`
+	GainVsOverlap  float64 `json:"gain_vs_overlap"`
+	// PredictedGain is simnet's blocking-vs-dynamic makespan ratio under
+	// the same fault plan (the Params.Dynamic cost-model arm).
+	PredictedGain float64 `json:"predicted_gain"`
+
+	StaticChecksum  string `json:"static_checksum"`
+	DynamicChecksum string `json:"dynamic_checksum"`
+	// BitIdentical: all four runs of the scenario — fault-free static,
+	// faulty blocking, faulty overlap, faulty dynamic — hash identically.
+	BitIdentical bool `json:"bit_identical"`
+	// CertEdges is the number of dependence edges CheckDynamicOrder proved
+	// ordered in the faulty dynamic run's firing log.
+	CertEdges int64 `json:"cert_edges"`
+}
+
+// DynCertRow is one workload × tiling family certification entry: a
+// fault-free dynamic run whose firing order certified and whose checksum
+// matches the static run.
+type DynCertRow struct {
+	Workload     string `json:"workload"`
+	Procs        int    `json:"procs"`
+	Tiles        int64  `json:"tiles"`
+	CertEdges    int64  `json:"cert_edges"`
+	BitIdentical bool   `json:"bit_identical"`
+}
+
+// DynExperiment is the committed BENCH_dyn.json shape.
+type DynExperiment struct {
+	Workload string `json:"workload"`
+	// MaxFaultGain is the best GainVsBlocking over the straggler and
+	// jittery-link scenarios — the acceptance gate's ≥ 1.1× subject.
+	MaxFaultGain float64           `json:"max_fault_gain"`
+	Rows         []*DynAblationRow `json:"rows"`
+	Certs        []*DynCertRow     `json:"certs"`
+	Ok           bool              `json:"ok"`
+}
+
+// AblationScenarios returns the four PR 5 fault classes the ablation
+// sweeps. Straggler, jittery-link and crash-restart reuse the degradation
+// report's plans (DefaultFaultScenarios); transient-send injects seeded
+// send failures whose retry backoff stalls a blocking sender's CPU but a
+// dynamic sender's NIC.
+func AblationScenarios() []FaultScenario {
+	def := DefaultFaultScenarios()
+	return []FaultScenario{
+		def[0], // straggler
+		{Name: "jittery-link", Plan: def[1].Plan},
+		{
+			Name: "transient-send",
+			Plan: func(d *distrib.Distribution, par simnet.Params, costScale float64) *mpi.FaultPlan {
+				return &mpi.FaultPlan{Seed: 1, Sends: &mpi.SendFaults{
+					Rate:       0.3,
+					MaxRetries: 3,
+					Backoff:    time.Duration(2 * par.Latency * costScale * float64(time.Second)),
+				}}
+			},
+		},
+		def[2], // crash-restart
+	}
+}
+
+// globalChecksum hashes a run's global array bit for bit (the serve
+// layer's Artifact.Checksum scheme), so "bit-identical" is one string
+// compare in the committed report.
+func globalChecksum(p *exec.Program, g *exec.Global) string {
+	h := ilin.HashSeed()
+	p.ScanSpace(func(j ilin.Vec) bool {
+		for _, v := range g.At(j) {
+			h = ilin.HashInt64(h, int64(math.Float64bits(v)))
+		}
+		return true
+	})
+	return fmt.Sprintf("%016x", h)
+}
+
+// runDynAblation measures one scenario in all three modes.
+func runDynAblation(p *exec.Program, par simnet.Params, costScale float64, sc FaultScenario) (*DynAblationRow, error) {
+	plan := sc.Plan(p.Dist, par, costScale)
+
+	measure := func(fp *mpi.FaultPlan, overlap, dynamic bool, log *exec.FiringLog) (float64, string, error) {
+		tr := exec.NewTracer()
+		opt := exec.RunOptions{
+			Overlap:    overlap,
+			Dynamic:    dynamic,
+			Firing:     log,
+			Net:        par.NetOptions(costScale),
+			PointDelay: time.Duration(par.IterTime * costScale * float64(time.Second)),
+			Trace:      tr,
+			Faults:     fp,
+		}
+		if fp != nil && sc.CheckpointEvery > 0 {
+			opt.Checkpoint = &exec.CheckpointOptions{Every: sc.CheckpointEvery}
+		}
+		g, _, err := p.RunParallelOpts(opt)
+		if err != nil {
+			return 0, "", err
+		}
+		return tr.Trace().Result.Makespan, globalChecksum(p, g), nil
+	}
+
+	_, baseSum, err := measure(nil, false, false, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s fault-free: %w", sc.Name, err)
+	}
+	blockMk, blockSum, err := measure(plan, false, false, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s static blocking: %w", sc.Name, err)
+	}
+	overMk, overSum, err := measure(plan, true, false, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s static overlap: %w", sc.Name, err)
+	}
+	log := &exec.FiringLog{}
+	dynMk, dynSum, err := measure(plan, false, true, log)
+	if err != nil {
+		return nil, fmt.Errorf("%s dynamic: %w", sc.Name, err)
+	}
+	if dynMk <= 0 {
+		return nil, fmt.Errorf("%s: degenerate dynamic makespan", sc.Name)
+	}
+	edges, err := verify.CheckDynamicOrder(p.TS, p.Dist, log.Records())
+	if err != nil {
+		return nil, fmt.Errorf("%s: dynamic firing order not certified: %w", sc.Name, err)
+	}
+
+	// Model prediction: the same fault plan through simnet's blocking and
+	// dynamic cost-model arms.
+	parBlock := par
+	parBlock.Overlap, parBlock.Dynamic = false, false
+	parDyn := par
+	parDyn.Overlap, parDyn.Dynamic = false, true
+	fm := simnet.FaultModel{Plan: plan, CheckpointEvery: sc.CheckpointEvery, DurScale: costScale}
+	simBlock, err := simnet.SimulateFaults(p.Dist, parBlock, fm)
+	if err != nil {
+		return nil, err
+	}
+	simDyn, err := simnet.SimulateFaults(p.Dist, parDyn, fm)
+	if err != nil {
+		return nil, err
+	}
+	predicted := 0.0
+	if simDyn.Makespan > 0 {
+		predicted = simBlock.Makespan / simDyn.Makespan
+	}
+
+	return &DynAblationRow{
+		Scenario:        sc.Name,
+		Procs:           p.Dist.NumProcs(),
+		StaticBlocking:  time.Duration(blockMk * float64(time.Second)),
+		StaticOverlap:   time.Duration(overMk * float64(time.Second)),
+		Dynamic:         time.Duration(dynMk * float64(time.Second)),
+		GainVsBlocking:  blockMk / dynMk,
+		GainVsOverlap:   overMk / dynMk,
+		PredictedGain:   predicted,
+		StaticChecksum:  blockSum,
+		DynamicChecksum: dynSum,
+		BitIdentical:    baseSum == blockSum && blockSum == overSum && overSum == dynSum,
+		CertEdges:       edges,
+	}, nil
+}
+
+// runDynCertMatrix runs every shipped workload × tiling family (the
+// differential suite's geometry) in dynamic mode, certifying each firing
+// order and checking bit-identity against the static run.
+func runDynCertMatrix() ([]*DynCertRow, error) {
+	var rows []*DynCertRow
+	add := func(name string, app *apps.App, err error, fam apps.TilingFamily, x, y, z int64) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		ts, err := tiling.Analyze(app.Nest, fam.H(x, y, z))
+		if err != nil {
+			return nil // family rejects these factors; the suite skips it too
+		}
+		p, err := exec.NewProgram(ts, app.MapDim, app.Width, app.Kernel, app.Initial)
+		if err != nil {
+			return nil
+		}
+		gS, _, err := p.RunParallelOpts(exec.RunOptions{Overlap: true})
+		if err != nil {
+			return fmt.Errorf("%s static: %w", name, err)
+		}
+		log := &exec.FiringLog{}
+		gD, _, err := p.RunParallelOpts(exec.RunOptions{Dynamic: true, Firing: log})
+		if err != nil {
+			return fmt.Errorf("%s dynamic: %w", name, err)
+		}
+		edges, err := verify.CheckDynamicOrder(p.TS, p.Dist, log.Records())
+		if err != nil {
+			return fmt.Errorf("%s: firing order not certified: %w", name, err)
+		}
+		var tiles int64
+		for _, n := range p.Dist.ChainLen {
+			tiles += n
+		}
+		rows = append(rows, &DynCertRow{
+			Workload:     name,
+			Procs:        p.Dist.NumProcs(),
+			Tiles:        tiles,
+			CertEdges:    edges,
+			BitIdentical: globalChecksum(p, gS) == globalChecksum(p, gD),
+		})
+		return nil
+	}
+	sor, err := apps.SOR(4, 10)
+	if err := add("sor/rect", sor, err, sor.Rect, 2, 4, 4); err != nil {
+		return nil, err
+	}
+	if err := add("sor/nonrect", sor, err, sor.NonRect[0], 2, 4, 4); err != nil {
+		return nil, err
+	}
+	jac, err := apps.Jacobi(8, 12)
+	if err := add("jacobi/rect", jac, err, jac.Rect, 2, 3, 3); err != nil {
+		return nil, err
+	}
+	if err := add("jacobi/nonrect", jac, err, jac.NonRect[0], 2, 4, 4); err != nil {
+		return nil, err
+	}
+	adi, err := apps.ADI(8, 10)
+	if err := add("adi/rect", adi, err, adi.Rect, 2, 3, 3); err != nil {
+		return nil, err
+	}
+	for i, fam := range adi.NonRect {
+		if err := add(fmt.Sprintf("adi/nonrect%d", i), adi, nil, fam, 2, 3, 3); err != nil {
+			return nil, err
+		}
+	}
+	heat, err := apps.Heat3D(6, 8)
+	if err := add("heat3d/rect", heat, err, heat.Rect, 2, 2, 2); err != nil {
+		return nil, err
+	}
+	if len(rows) < 6 {
+		return nil, fmt.Errorf("only %d certification rows built — factor choices too restrictive", len(rows))
+	}
+	return rows, nil
+}
+
+// RunDynExperiment runs the full ablation on a chain-deep SOR
+// configuration plus the certification matrix over every shipped
+// workload. Unlike the degradation report's 16-rank/4-tile-chain
+// acceptance configuration — whose makespan is dominated by pipeline
+// fill, identical under every schedule — this one (15 ranks, 21-tile
+// chains) spends most of its makespan in pipeline steady state, where
+// the blocking executor's rate is compute + send and the dynamic
+// scheduler's is max(compute, wire): the regime the scheduling ablation
+// is about.
+func RunDynExperiment(par simnet.Params, costScale float64) (*DynExperiment, error) {
+	app, err := apps.SOR(4, 40)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := tiling.Analyze(app.Nest, app.NonRect[0].H(2, 10, 2))
+	if err != nil {
+		return nil, err
+	}
+	p, err := exec.NewProgram(ts, app.MapDim, app.Width, app.Kernel, app.Initial)
+	if err != nil {
+		return nil, err
+	}
+	par.Width = p.Width
+	e := &DynExperiment{Workload: "sor 4x40x40 nr(2,10,2)"}
+	for _, sc := range AblationScenarios() {
+		row, err := runDynAblation(p, par, costScale, sc)
+		if err != nil {
+			return nil, err
+		}
+		e.Rows = append(e.Rows, row)
+		if (sc.Name == "straggler" || sc.Name == "jittery-link") && row.GainVsBlocking > e.MaxFaultGain {
+			e.MaxFaultGain = row.GainVsBlocking
+		}
+	}
+	if e.Certs, err = runDynCertMatrix(); err != nil {
+		return nil, err
+	}
+	e.Ok = e.Gate() == nil
+	return e, nil
+}
+
+// dynNoiseFloor is the "dynamic ≥ static" allowance: a degradation ratio
+// divides two measured makespans, so timer noise can push a genuinely
+// equal pair a few percent either way.
+const dynNoiseFloor = 0.95
+
+// Gate enforces the acceptance criteria: bit-identical results and a
+// certified firing order everywhere, dynamic no slower than static under
+// any fault, and ≥ 1.1× recovered from at least one of the straggler /
+// jittery-link scenarios.
+func (e *DynExperiment) Gate() error {
+	for _, r := range e.Rows {
+		if !r.BitIdentical {
+			return fmt.Errorf("%s: dynamic result not bit-identical (static %s, dynamic %s)", r.Scenario, r.StaticChecksum, r.DynamicChecksum)
+		}
+		if r.CertEdges <= 0 {
+			return fmt.Errorf("%s: firing-order certificate proved zero dependence edges", r.Scenario)
+		}
+		if r.GainVsBlocking < dynNoiseFloor {
+			return fmt.Errorf("%s: dynamic slower than static blocking (%.2fx, floor %.2f)", r.Scenario, r.GainVsBlocking, dynNoiseFloor)
+		}
+	}
+	if e.MaxFaultGain < 1.1 {
+		return fmt.Errorf("best straggler/jittery-link gain %.2fx, want >= 1.1x", e.MaxFaultGain)
+	}
+	for _, c := range e.Certs {
+		if !c.BitIdentical {
+			return fmt.Errorf("cert %s: dynamic result not bit-identical to static", c.Workload)
+		}
+		if c.Procs > 1 && c.CertEdges <= 0 {
+			return fmt.Errorf("cert %s: zero dependence edges certified on a %d-rank program", c.Workload, c.Procs)
+		}
+	}
+	return nil
+}
+
+// JSON renders the committed benchmark snapshot.
+func (e *DynExperiment) JSON() ([]byte, error) {
+	return json.MarshalIndent(e, "", "  ")
+}
+
+// Render formats the ablation and certification tables.
+func (e *DynExperiment) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== static vs dynamic scheduling under faults (%s) ==\n", e.Workload)
+	fmt.Fprintf(&b, "%-15s %6s %12s %12s %12s %9s %9s %8s %6s %9s\n",
+		"scenario", "procs", "static-blk", "static-ovl", "dynamic", "gain/blk", "gain/ovl", "pred", "edges", "identical")
+	for _, r := range e.Rows {
+		fmt.Fprintf(&b, "%-15s %6d %12s %12s %12s %8.2fx %8.2fx %7.2fx %6d %9v\n",
+			r.Scenario, r.Procs,
+			r.StaticBlocking.Round(100*time.Microsecond),
+			r.StaticOverlap.Round(100*time.Microsecond),
+			r.Dynamic.Round(100*time.Microsecond),
+			r.GainVsBlocking, r.GainVsOverlap, r.PredictedGain, r.CertEdges, r.BitIdentical)
+	}
+	fmt.Fprintf(&b, "best straggler/jittery-link gain: %.2fx (gate >= 1.10x)\n\n", e.MaxFaultGain)
+	fmt.Fprintf(&b, "== dynamic firing-order certification (workload x tiling family) ==\n")
+	fmt.Fprintf(&b, "%-16s %6s %6s %6s %9s\n", "workload", "procs", "tiles", "edges", "identical")
+	for _, c := range e.Certs {
+		fmt.Fprintf(&b, "%-16s %6d %6d %6d %9v\n", c.Workload, c.Procs, c.Tiles, c.CertEdges, c.BitIdentical)
+	}
+	return b.String()
+}

@@ -1,0 +1,387 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tilespace/internal/ilin"
+	"tilespace/internal/mpi"
+	"tilespace/internal/verify"
+)
+
+// This file is the dynamic half of the hybrid static/dynamic scheduler.
+//
+// The static executor (runRank) is the paper's generated code: each tile
+// performs RECEIVE → compute → SEND at its lex-time slot, and the RECEIVE
+// blocks on each inbound message in the compiled stream order even when
+// messages for later tiles are already sitting in the mailbox. The dynamic
+// mode keeps the static order as the priority tie-break — within a rank,
+// tiles still fire in chain order, which the wire forces anyway: messages
+// carry no tile identity beyond their (source, tag) FIFO stream position,
+// so a rank that reordered its sends (or its receives within a stream)
+// would unpair every message on the stream. What becomes dynamic is the
+// timing:
+//
+//   - Every inbound message of the whole chain is posted as an Irecv up
+//     front, in the static claim order per stream (so ticket order equals
+//     wire order), and claimed+unpacked eagerly the moment it arrives —
+//     tiles effectively decrement their dependence counters as messages
+//     land, not when the schedule reaches them.
+//   - The rank blocks only for the lex-lowest unfired tile's missing
+//     messages — exactly the task the static tie-break says to run next —
+//     then fires it onto the intra-tile worker pool (RunOptions.Workers).
+//   - Sends are always asynchronous (Isend): the transfer runs on the NIC
+//     goroutine while the rank advances, so a slow or jittery link charges
+//     the link, not the sender's critical path.
+//
+// Because each halo cell has exactly one writer (verify's comm-exactness
+// theorem) and unpacking is idempotent per message, eager unpacking
+// commutes across streams and the computed values are bit-identical to
+// the static path; Stats equal the static overlap mode's because the wire
+// sees the identical message sequence. The chaos and differential suites
+// assert both.
+//
+// Crash recovery composes with a twist: the static path re-receives
+// claimed messages from the checkpoint's receive log, but eager claiming
+// means a message for a post-crash tile may have been consumed before the
+// snapshot that survives it. Dynamic mode therefore bypasses the receive
+// log entirely: each claimed message keeps its payload until a snapshot
+// has captured its unpacked cells (markSnapped), and a crash re-applies
+// the retained payloads on top of the restored LDS (reapply) — the wire
+// never replays a claimed message, and Stats still count it exactly once.
+
+// FiringLog records the observed firing order of a dynamic run for
+// post-hoc certification by verify.CheckDynamicOrder. One lock serializes
+// all ranks' appends, so a record's Seq is its index in the single
+// observed linearization: any happens-before edge between two firings —
+// program order within a rank, or a message send happening-before its
+// claim — implies Seq order.
+//
+// Under crash-restart a rewound rank re-executes tiles it already fired;
+// only the first firing of each tile is recorded (keep-first). The first
+// incarnation is the one whose outputs the rest of the cluster may have
+// already consumed, so its sequence is the linearization that must extend
+// the dependence order — a re-fire's position would not be (a successor
+// fed by a delivered pre-crash message can legitimately fire before the
+// re-fire).
+type FiringLog struct {
+	mu   sync.Mutex
+	recs []verify.FiringRecord
+}
+
+// note appends the next firing record; called once per tile, at its first
+// firing, before the tile's sends are issued.
+func (fl *FiringLog) note(rank int, slot int64, tile ilin.Vec) {
+	fl.mu.Lock()
+	fl.recs = append(fl.recs, verify.FiringRecord{
+		Seq:  int64(len(fl.recs)),
+		Rank: rank,
+		Slot: slot,
+		Tile: append(ilin.Vec(nil), tile...),
+	})
+	fl.mu.Unlock()
+}
+
+// reset clears the log for a fresh run (RunParallelOpts does this so a
+// log can be reused across runs).
+func (fl *FiringLog) reset() {
+	fl.mu.Lock()
+	fl.recs = fl.recs[:0]
+	fl.mu.Unlock()
+}
+
+// Records returns a copy of the recorded firing order.
+func (fl *FiringLog) Records() []verify.FiringRecord {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return append([]verify.FiringRecord(nil), fl.recs...)
+}
+
+// dynMsg is one expected inbound message of the dynamic schedule: the
+// (predecessor tile, processor direction) pair the static RECEIVE would
+// claim for chain slot t, with its posted Irecv and its claim state.
+type dynMsg struct {
+	t    int64    // destination chain slot (the tile this message unblocks)
+	pred ilin.Vec // predecessor tile: plan lookup + unpack base
+	di   int      // processor-direction index = message tag
+	src  int      // source rank
+	req  *mpi.Request
+
+	unpacked bool
+	// Checkpointing only: the claimed payload is retained until a snapshot
+	// has captured its unpacked cells, so a crash can re-apply it (the
+	// mailbox cannot replay a claimed message).
+	data    []float64
+	snapped bool
+}
+
+// dynStream is the per-(source, tag) claim queue: msgs in wire FIFO order,
+// head the first not-yet-claimed entry. Claims must advance head in order
+// — tickets complete in posting order — so eager draining is one Test per
+// stream head, not a scan.
+type dynStream struct {
+	msgs []*dynMsg
+	head int
+}
+
+// dynState is a rank's dynamic-mode bookkeeping.
+type dynState struct {
+	byTile  [][]*dynMsg // per chain slot, in static claim order
+	streams []*dynStream
+	all     []*dynMsg
+}
+
+// buildDynamic enumerates every inbound message of the rank's whole chain
+// — the exact (pred, direction) pairs receivePhasePlanned would claim, in
+// the exact order — and posts one Irecv per message up front. Per stream,
+// posting order is the static claim order, which is the sender's emission
+// order, so ticket k pairs with the k-th wire message of the stream.
+func (st *rankState) buildDynamic() (*dynState, error) {
+	d := st.p.Dist
+	dy := &dynState{byTile: make([][]*dynMsg, d.ChainLen[st.rank])}
+	byKey := map[[2]int]*dynStream{}
+	for t := int64(0); t < d.ChainLen[st.rank]; t++ {
+		tile := d.TileAt(st.rank, t)
+		for _, si := range st.dsOrder {
+			di := st.dsDmIdx[si]
+			if di < 0 {
+				continue // same-processor dependence: data is already in the LDS
+			}
+			dS := st.p.TS.DS[si]
+			dm := d.DM[di]
+			pred := tile.Sub(dS)
+			if !st.p.TS.ValidTile(pred) {
+				continue
+			}
+			if ms, ok := d.MinSucc(pred, dm); !ok || !ms.Equal(tile) {
+				continue
+			}
+			if st.planFor(pred).dirs[di].total == 0 {
+				continue
+			}
+			src := st.recvRank[di]
+			if src < 0 {
+				return nil, fmt.Errorf("exec: predecessor tile %v has no rank", pred)
+			}
+			m := &dynMsg{t: t, pred: pred, di: di, src: src}
+			dy.byTile[t] = append(dy.byTile[t], m)
+			dy.all = append(dy.all, m)
+			key := [2]int{src, di}
+			s := byKey[key]
+			if s == nil {
+				s = &dynStream{}
+				byKey[key] = s
+				dy.streams = append(dy.streams, s)
+			}
+			s.msgs = append(s.msgs, m)
+		}
+	}
+	for _, m := range dy.all {
+		m.req = st.c.Irecv(m.src, m.di)
+	}
+	return dy, nil
+}
+
+// drain claims and unpacks every message that has already arrived, on any
+// stream — the dynamic intake. Claims advance each stream's head in FIFO
+// order; one failed Test parks the stream until the next drain.
+func (dy *dynState) drain(st *rankState) error {
+	for _, s := range dy.streams {
+		for s.head < len(s.msgs) {
+			m := s.msgs[s.head]
+			if m.unpacked {
+				s.head++
+				continue
+			}
+			data, ok := m.req.Test()
+			if !ok {
+				break
+			}
+			if err := st.unpackDynamic(m, data, 0); err != nil {
+				return err
+			}
+			s.head++
+		}
+	}
+	return nil
+}
+
+// await blocks for one specific missing message of the current tile — the
+// static tie-break says this tile is next, so its messages are the only
+// ones worth blocking on. The blocking Wait is the watchdog-aware ticket
+// claim, exactly like the static receive.
+func (dy *dynState) await(st *rankState, m *dynMsg) error {
+	var t0 time.Time
+	if st.tr != nil {
+		t0 = time.Now()
+	}
+	data := m.req.Wait()
+	var waited time.Duration
+	if st.tr != nil {
+		waited = time.Since(t0)
+	}
+	return st.unpackDynamic(m, data, waited)
+}
+
+// unpackDynamic applies one claimed message to the LDS: the predecessor
+// plan's run list shifted by the constant pack→unpack offset, identical to
+// receivePhasePlanned. With checkpointing on, the payload is retained
+// (copied) until a snapshot covers the unpacked cells.
+func (st *rankState) unpackDynamic(m *dynMsg, data []float64, waited time.Duration) error {
+	d := st.p.Dist
+	w := st.p.Width
+	dir := &st.planFor(m.pred).dirs[m.di]
+	if int64(len(data)) != dir.total*int64(w) {
+		return fmt.Errorf("exec: rank %d chain slot %d: message from rank %d tag %d has %d values, expected %d", st.rank, m.t, m.src, m.di, len(data), dir.total*int64(w))
+	}
+	if st.tr != nil {
+		st.tr.noteRecv(waited, 0, len(data))
+	}
+	if st.ckpt != nil {
+		m.data = append([]float64(nil), data...)
+	}
+	base := (m.pred[d.M]-d.ChainStart[st.rank])*st.chainStep + st.dirShift[m.di]
+	pos := 0
+	for _, run := range dir.runs {
+		cell := (run.Off + base) * int64(w)
+		nn := int(run.N) * w
+		copy(st.la[cell:cell+int64(nn)], data[pos:pos+nn])
+		st.markDirty(cell + int64(nn))
+		pos += nn
+	}
+	m.unpacked = true
+	st.pool.put(data)
+	return nil
+}
+
+// reapply re-writes a retained payload into the (just restored) LDS after
+// a crash. No wire activity, no Stats, no tracer counts: the claim was
+// already counted at its one successful receive.
+func (st *rankState) reapply(m *dynMsg) {
+	d := st.p.Dist
+	w := st.p.Width
+	dir := &st.planFor(m.pred).dirs[m.di]
+	base := (m.pred[d.M]-d.ChainStart[st.rank])*st.chainStep + st.dirShift[m.di]
+	pos := 0
+	for _, run := range dir.runs {
+		cell := (run.Off + base) * int64(w)
+		nn := int(run.N) * w
+		copy(st.la[cell:cell+int64(nn)], m.data[pos:pos+nn])
+		st.markDirty(cell + int64(nn))
+		pos += nn
+	}
+}
+
+// markSnapped runs right after a snapshot: every unpack the snapshot
+// captured (markDirty raised the high-water mark over its cells before the
+// copy) no longer needs its retained payload.
+func (dy *dynState) markSnapped() {
+	for _, m := range dy.all {
+		if m.unpacked && !m.snapped {
+			m.snapped = true
+			m.data = nil
+		}
+	}
+}
+
+// crashDynamic is the dynamic-mode crash: the shared recovery protocol
+// (drop pending sends, restore the LDS snapshot, build the resend cursor)
+// plus re-application of claimed-but-unsnapshotted messages, which the
+// restore wiped from the LDS and the wire cannot redeliver. Unclaimed
+// messages keep their live Irecv tickets — a crash drops outbound queues
+// only — so the resumed chain claims them as if nothing happened.
+func (st *rankState) crashDynamic(dy *dynState, t int64) int64 {
+	resume := st.crash(t)
+	for _, m := range dy.all {
+		if m.unpacked && !m.snapped {
+			st.reapply(m)
+		}
+	}
+	return resume
+}
+
+// runRankDynamic is the dynamic-mode rank body; see the file comment for
+// the schedule it implements and runRank for the static counterpart.
+func (p *Program) runRankDynamic(c *mpi.Comm, g *Global, opt RunOptions) error {
+	r := c.Rank()
+	d := p.Dist
+	st := newRankState(p, c, r, opt)
+	if st.workers > 1 {
+		st.wpool = newWorkerPool(st, st.workers)
+		defer st.wpool.close()
+	}
+	dy, err := st.buildDynamic()
+	if err != nil {
+		return err
+	}
+	crashAt := st.faults.CrashTile(r)
+	fired := make([]bool, d.ChainLen[r])
+	for t := int64(0); t < d.ChainLen[r]; t++ {
+		if t == crashAt && (st.ckpt == nil || !st.ckpt.crashed) {
+			t = st.crashDynamic(dy, t)
+		}
+		tile := d.TileAt(r, t)
+		if st.tr != nil {
+			st.tr.beginTile()
+		}
+		pl := st.planFor(tile)
+		st.tilePlans[t] = pl
+		// Dynamic intake first: whatever the wire has already delivered —
+		// for this tile or any later one — is claimed and unpacked now.
+		if err := dy.drain(st); err != nil {
+			return err
+		}
+		// Then block only for this tile's still-missing messages: the
+		// static tie-break makes it the unique next task on this rank.
+		for _, m := range dy.byTile[t] {
+			if m.unpacked {
+				continue
+			}
+			if err := dy.await(st, m); err != nil {
+				return err
+			}
+		}
+		mulVecInto(st.pBase, p.TS.T.P, tile)
+		st.initPhasePlanned(pl, tile, t)
+		if st.tr != nil {
+			st.tr.noteRecvDone()
+		}
+		// The tile fires: all dependence counters hit zero. Keep-first
+		// across crash rewinds — see FiringLog.
+		if !fired[t] {
+			fired[t] = true
+			if opt.Firing != nil {
+				opt.Firing.note(r, t, tile)
+			}
+		}
+		if st.wpool != nil {
+			st.computePhaseParallel(pl, t)
+		} else {
+			st.computePhasePlanned(pl, t)
+		}
+		if st.tr != nil {
+			st.tr.noteCompDone()
+		}
+		if err := st.sendPhasePlanned(tile, pl, t); err != nil {
+			return err
+		}
+		if st.tr != nil {
+			st.tr.endTile(tile)
+		}
+		c.NoteProgress()
+		st.commitTile(t)
+		if ck := st.ckpt; ck != nil && (t+1)%ck.every == 0 {
+			dy.markSnapped()
+		}
+	}
+	if err := st.checkReplayDrained(); err != nil {
+		return err
+	}
+	mpi.Waitall(st.pending)
+	if st.tr != nil {
+		st.tr.finish(&st.pool, st.wpool)
+	}
+	st.writeBack(g)
+	return nil
+}

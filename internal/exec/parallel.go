@@ -99,6 +99,19 @@ type RunOptions struct {
 	// protocol. Mutually exclusive with Checkpoint (the in-process
 	// tile-chain recovery). See ProcCheckpoint.
 	ProcCheckpoint *ProcCheckpoint
+	// Dynamic switches each rank to the hybrid static/dynamic scheduler
+	// (see dynamic.go): every inbound message of the chain is posted up
+	// front and claimed the moment it arrives, tiles fire as soon as their
+	// dependences are satisfied with the static lex-time schedule as the
+	// priority tie-break, and all sends are asynchronous (Overlap is forced
+	// on). Results and mpi.Stats are bit-identical to the static overlap
+	// mode; only timing changes. Requires the compiled plans (not Legacy)
+	// and is mutually exclusive with ProcCheckpoint.
+	Dynamic bool
+	// Firing, when non-nil and Dynamic is set, records the observed firing
+	// order for post-hoc certification by verify.CheckDynamicOrder. The
+	// log is reset at run start, so one log can be reused across runs.
+	Firing *FiringLog
 }
 
 // RunParallel executes the program as the paper's generated data-parallel
@@ -139,6 +152,21 @@ func (p *Program) RunParallelOpts(opt RunOptions) (*Global, mpi.Stats, error) {
 	if opt.ProcCheckpoint != nil && opt.Checkpoint != nil {
 		return nil, mpi.Stats{}, fmt.Errorf("exec: ProcCheckpoint and Checkpoint are mutually exclusive")
 	}
+	if opt.Dynamic {
+		if opt.Legacy {
+			return nil, mpi.Stats{}, fmt.Errorf("exec: Dynamic requires the compiled tile plans; Legacy is the static reference executor")
+		}
+		if opt.ProcCheckpoint != nil {
+			return nil, mpi.Stats{}, fmt.Errorf("exec: Dynamic and ProcCheckpoint are mutually exclusive (process resume replays the static receive order)")
+		}
+		// Dynamic sends are always asynchronous: forcing the overlap
+		// primitive here keeps dispatchSend on the Isend path and makes
+		// Stats bit-identical to a static Overlap run.
+		opt.Overlap = true
+	}
+	if opt.Firing != nil {
+		opt.Firing.reset()
+	}
 	world := opt.World
 	if world != nil {
 		if world.Size() != p.Dist.NumProcs() {
@@ -168,8 +196,12 @@ func (p *Program) RunParallelOpts(opt RunOptions) (*Global, mpi.Stats, error) {
 		mu     sync.Mutex
 		runErr error
 	)
+	rankBody := p.runRank
+	if opt.Dynamic {
+		rankBody = p.runRankDynamic
+	}
 	werr := world.RunE(func(c *mpi.Comm) {
-		if err := p.runRank(c, g, opt); err != nil {
+		if err := rankBody(c, g, opt); err != nil {
 			mu.Lock()
 			if runErr == nil {
 				runErr = err

@@ -121,13 +121,32 @@ func checkSpec(s propSpec) (failure string, skip bool) {
 			return fmt.Sprintf("planned overlap=%v differs from sequential by %g at %v", overlap, d, at), false
 		}
 	}
+	// The hybrid static/dynamic scheduler on generated geometry: results
+	// must match the oracle bit for bit and the observed firing order must
+	// certify as a linear extension of the dependence order. A static-vs-
+	// dynamic divergence shrinks to a minimal reproducer like any other
+	// property failure.
+	log := &exec.FiringLog{}
+	dyn, _, err := p.RunParallelOpts(exec.RunOptions{Dynamic: true, Firing: log})
+	if err != nil {
+		return fmt.Sprintf("dynamic: %v", err), false
+	}
+	if d, at := seq.MaxAbsDiff(dyn, p.ScanSpace); d != 0 {
+		return fmt.Sprintf("dynamic differs from sequential by %g at %v", d, at), false
+	}
+	if _, err := verify.CheckDynamicOrder(ts, p.Dist, log.Records()); err != nil {
+		return fmt.Sprintf("dynamic firing order not certified: %v", err), false
+	}
 	// Crash-restart on generated geometry: recovery must be bit-exact on
-	// workloads nobody hand-tuned, not just the curated apps.
+	// workloads nobody hand-tuned, not just the curated apps — in both
+	// scheduling modes (dynamic recovery re-applies eagerly claimed
+	// messages instead of replaying a receive log).
 	if procs := p.Dist.NumProcs(); procs > 1 {
 		mid := procs / 2
+		crash := &mpi.FaultPlan{Crash: map[int]int64{mid: p.Dist.ChainLen[mid] / 2}}
 		restarted, _, err := p.RunParallelOpts(exec.RunOptions{
 			Overlap:    true,
-			Faults:     &mpi.FaultPlan{Crash: map[int]int64{mid: p.Dist.ChainLen[mid] / 2}},
+			Faults:     crash,
 			Checkpoint: &exec.CheckpointOptions{Every: 2},
 		})
 		if err != nil {
@@ -135,6 +154,21 @@ func checkSpec(s propSpec) (failure string, skip bool) {
 		}
 		if d, at := seq.MaxAbsDiff(restarted, p.ScanSpace); d != 0 {
 			return fmt.Sprintf("crash-restart differs from sequential by %g at %v", d, at), false
+		}
+		dynRestarted, _, err := p.RunParallelOpts(exec.RunOptions{
+			Dynamic:    true,
+			Firing:     log,
+			Faults:     crash,
+			Checkpoint: &exec.CheckpointOptions{Every: 2},
+		})
+		if err != nil {
+			return fmt.Sprintf("dynamic crash-restart: %v", err), false
+		}
+		if d, at := seq.MaxAbsDiff(dynRestarted, p.ScanSpace); d != 0 {
+			return fmt.Sprintf("dynamic crash-restart differs from sequential by %g at %v", d, at), false
+		}
+		if _, err := verify.CheckDynamicOrder(ts, p.Dist, log.Records()); err != nil {
+			return fmt.Sprintf("dynamic crash-restart firing order not certified: %v", err), false
 		}
 	}
 	return "", false

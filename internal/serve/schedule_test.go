@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRunScheduleDynamic drives /v1/run with "schedule":"dynamic" and
+// requires the checksum and traffic identical to the static run of the
+// same spec — the service-level static-vs-dynamic differential.
+func TestRunScheduleDynamic(t *testing.T) {
+	leakCheck(t)
+	s, ts, client := newTestServer(t, Config{Watchdog: 30 * time.Second})
+	defer s.worlds.closeAll()
+
+	run := func(schedule string) runResponse {
+		t.Helper()
+		body := map[string]any{"source": heatSpec(12)}
+		if schedule != "" {
+			body["schedule"] = schedule
+		}
+		resp, data := postJSON(t, client, ts.URL+"/v1/run", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("schedule %q: status %d: %s", schedule, resp.StatusCode, data)
+		}
+		return decode[runResponse](t, data)
+	}
+
+	static := run("")
+	if static.Schedule != "static" {
+		t.Fatalf("default run reports schedule %q", static.Schedule)
+	}
+	if explicit := run("static"); explicit.Checksum != static.Checksum {
+		t.Fatalf("explicit static checksum %s differs from default %s", explicit.Checksum, static.Checksum)
+	}
+	dyn := run("dynamic")
+	if dyn.Schedule != "dynamic" {
+		t.Fatalf("dynamic run reports schedule %q", dyn.Schedule)
+	}
+	if dyn.Checksum != static.Checksum {
+		t.Fatalf("dynamic checksum %s differs from static %s", dyn.Checksum, static.Checksum)
+	}
+	if dyn.Messages != static.Messages || dyn.Values != static.Values {
+		t.Fatalf("dynamic traffic (%d msgs, %d vals) differs from static (%d, %d)",
+			dyn.Messages, dyn.Values, static.Messages, static.Values)
+	}
+}
+
+func TestRunScheduleUnknown(t *testing.T) {
+	s, ts, client := newTestServer(t, Config{})
+	defer s.worlds.closeAll()
+	resp, data := postJSON(t, client, ts.URL+"/v1/run",
+		map[string]any{"source": heatSpec(12), "schedule": "soonest"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+	}
+}

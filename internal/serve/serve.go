@@ -414,6 +414,13 @@ type runRequest struct {
 	// bit-identical across transports; the knob exists for soak testing
 	// the wire path and for measuring it.
 	Transport string `json:"transport,omitempty"`
+	// Schedule selects the tile scheduler: "static" (default — the
+	// paper's lex-time wavefront) or "dynamic" (the hybrid
+	// static/dynamic mode: tiles fire as their dependences arrive, with
+	// the static order as the tie-break and all sends asynchronous).
+	// Results, checksums and traffic stats are bit-identical across
+	// schedules; only timing under faults differs.
+	Schedule string `json:"schedule,omitempty"`
 }
 
 // runResponse is the final result of an execution.
@@ -427,6 +434,7 @@ type runResponse struct {
 	CacheHit  bool   `json:"cache_hit"`
 	Overlap   bool   `json:"overlap"`
 	Transport string `json:"transport"`
+	Schedule  string `json:"schedule"`
 }
 
 // streamLine is one NDJSON line of a streamed run: either a tile/fault
@@ -458,6 +466,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
 	default:
 		return writeError(w, http.StatusBadRequest,
 			"unknown transport %q (want \"channel\" or \"tcp\")", req.Transport)
+	}
+	var dynamic bool
+	switch req.Schedule {
+	case "", "static":
+	case "dynamic":
+		dynamic = true
+	default:
+		return writeError(w, http.StatusBadRequest,
+			"unknown schedule %q (want \"static\" or \"dynamic\")", req.Schedule)
 	}
 	art, hit, err := s.artifact(req.Source)
 	if err != nil {
@@ -500,6 +517,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
 
 	opt := exec.RunOptions{
 		Overlap: req.Overlap,
+		Dynamic: dynamic,
 		Workers: workers,
 		Verify:  req.Verify,
 		Net:     mpi.Options{Watchdog: s.cfg.Watchdog},
@@ -529,9 +547,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
 	return writeJSON(w, http.StatusOK, runResponse{
 		Procs: art.Procs, Tiles: art.Tiles, Points: art.Points,
 		Messages: stats.Messages, Values: stats.Values,
-		Checksum: art.Checksum(g), CacheHit: hit, Overlap: req.Overlap,
-		Transport: wire.String(),
+		Checksum: art.Checksum(g), CacheHit: hit, Overlap: opt.Overlap,
+		Transport: wire.String(), Schedule: scheduleName(opt.Dynamic),
 	})
+}
+
+// scheduleName renders a run's scheduler mode for response bodies.
+func scheduleName(dynamic bool) string {
+	if dynamic {
+		return "dynamic"
+	}
+	return "static"
 }
 
 // retryAfterSeconds renders an admission backoff hint as a Retry-After
@@ -602,7 +628,7 @@ func (s *Server) streamRun(w http.ResponseWriter, art *Artifact, opt exec.RunOpt
 				Procs: art.Procs, Tiles: art.Tiles, Points: art.Points,
 				Messages: out.stats.Messages, Values: out.stats.Values,
 				Checksum: art.Checksum(out.g), CacheHit: hit, Overlap: opt.Overlap,
-				Transport: wire.String(),
+				Transport: wire.String(), Schedule: scheduleName(opt.Dynamic),
 			}})
 			return http.StatusOK
 		}
